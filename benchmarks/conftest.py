@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper on the
+simulated cluster, prints the rendered result, and asserts the
+paper's qualitative claims (who wins, by roughly what factor, where
+crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def show(result) -> None:
+    """Print a rendered experiment table (visible with -s or on failure)."""
+    print()
+    print(result.render())
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment function once under pytest-benchmark timing."""
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        show(result)
+        return result
+    return _run

@@ -1,0 +1,48 @@
+"""Figure 11: scalability of LSTM / Inception-v3 / VGGNet-16.
+
+Paper claims: compute-bound LSTM and Inception-v3 scale near-linearly
+(>7x on 8 servers for RDMA); communication-bound VGGNet-16 reaches
+~5.2x only with RDMA; with RDMA all three distributed runs beat the
+single-server local baseline from 2 servers on, while gRPC.RDMA needs
+4 (LSTM) or 8 (VGG) servers to break even.
+"""
+
+from repro.harness import figure11
+
+
+def test_figure11(regen):
+    result = regen(figure11, iterations=3)
+
+    def speedup(model, mechanism, servers):
+        return result.cell("speedup_vs_local", benchmark=model,
+                           mechanism=mechanism, servers=servers)
+
+    # Compute-bound models scale well on 8 servers with RDMA.
+    assert speedup("LSTM", "RDMA", 8) > 4.0
+    assert speedup("Inception-v3", "RDMA", 8) > 5.0
+    # Communication-bound VGG scales, but worse.
+    assert 2.0 < speedup("VGGNet-16", "RDMA", 8) < speedup("Inception-v3",
+                                                           "RDMA", 8)
+
+    # RDMA always scales at least as well as gRPC.RDMA, which beats TCP.
+    for model in ("LSTM", "Inception-v3", "VGGNet-16"):
+        for servers in (2, 4, 8):
+            rdma = speedup(model, "RDMA", servers)
+            grpc = speedup(model, "gRPC.RDMA", servers)
+            tcp = speedup(model, "gRPC.TCP", servers)
+            assert rdma >= grpc >= tcp, (model, servers)
+
+    # Crossover vs the local baseline: RDMA breaks even by 2 servers
+    # for every workload (paper: "with our RDMA, all the three
+    # distributed benchmarks can outperform the local implementations
+    # with only 2 servers").
+    for model in ("LSTM", "Inception-v3", "VGGNet-16"):
+        assert speedup(model, "RDMA", 2) > 1.0, model
+
+    # gRPC.TCP cannot beat local for VGG even at 8 servers.
+    assert speedup("VGGNet-16", "gRPC.TCP", 8) < 1.5
+
+    # Throughput grows with server count under RDMA.
+    for model in ("LSTM", "Inception-v3", "VGGNet-16"):
+        series = [speedup(model, "RDMA", n) for n in (1, 2, 4, 8)]
+        assert series == sorted(series), model

@@ -1,0 +1,21 @@
+"""Figure 7: complementary CDF of variable tensor sizes."""
+
+from repro.harness import figure7
+
+
+def test_figure7(regen):
+    result = regen(figure7)
+    frac_over_10kb = result.cell("fraction_of_tensors_larger",
+                                 size_threshold_bytes=10 * 1024)
+    frac_over_1mb = result.cell("fraction_of_tensors_larger",
+                                size_threshold_bytes=1024 * 1024)
+    capacity_over_1mb = result.cell("fraction_of_capacity_in_larger",
+                                    size_threshold_bytes=1024 * 1024)
+    # The paper's three headline observations about the distribution.
+    assert frac_over_10kb > 0.50
+    assert frac_over_1mb >= 0.20
+    assert capacity_over_1mb > 0.94
+
+    # CCDF must be non-increasing in the threshold.
+    fractions = result.column("fraction_of_tensors_larger")
+    assert fractions == sorted(fractions, reverse=True)

@@ -1,0 +1,50 @@
+"""Figure 8: the send/receive micro-benchmark between two servers."""
+
+from repro.harness import figure8
+from repro.harness.experiments import KB, MB, GB
+
+
+SIZES = (64 * KB, 1 * MB, 16 * MB, 256 * MB, 1 * GB)
+
+
+def test_figure8(regen):
+    result = regen(figure8, sizes=SIZES, iterations=3)
+
+    def time_of(mechanism, size):
+        return result.cell("transfer_ms", mechanism=mechanism,
+                           message_bytes=size)
+
+    for size in SIZES:
+        rdma = time_of("RDMA", size)
+        cp = time_of("RDMA.cp", size)
+        grpc_rdma = time_of("gRPC.RDMA", size)
+        grpc_tcp = time_of("gRPC.TCP", size)
+        # The 1 GB gRPC.RDMA point is missing: TensorFlow crashes (§5.1).
+        if size >= 1 * GB:
+            assert grpc_rdma is None
+        else:
+            # Mechanism ordering of the figure.
+            assert rdma < cp < grpc_rdma < grpc_tcp, f"size={size}"
+
+    # Paper: RDMA.zerocp beats RDMA.cp by 1.2x-1.8x.
+    for size in (1 * MB, 256 * MB):
+        ratio = time_of("RDMA.cp", size) / time_of("RDMA", size)
+        assert 1.1 < ratio < 2.3, f"size={size}: {ratio}"
+
+    # Paper: 1.3x-14x over gRPC.RDMA across the size range.  (In this
+    # reproduction the gap is driven by per-message overheads at small
+    # sizes and per-byte serialization/copy at large sizes, so it is
+    # large at both ends of the sweep.)
+    for size in (64 * KB, 1 * MB, 256 * MB):
+        gap = time_of("gRPC.RDMA", size) / time_of("RDMA", size)
+        assert 1.3 < gap < 14, f"size={size}: {gap}"
+
+    # Paper: 1.7x-61x over gRPC.TCP.
+    for size in SIZES:
+        gap = time_of("gRPC.TCP", size) / time_of("RDMA", size)
+        assert 1.7 < gap < 61, f"size={size}: {gap}"
+
+    # Near the wire limit at 1 GB: ~100 Gbps for zero-copy RDMA.
+    gbps = result.cell("throughput_gbps", mechanism="RDMA",
+                       message_bytes=1 * GB)
+    assert gbps > 90

@@ -1,0 +1,25 @@
+"""Table 2: benchmark characteristics (model size, #variables, time)."""
+
+from repro.harness import table2
+
+
+PAPER_TABLE2 = {
+    # benchmark: (size MB, variable tensor count, sample time ms)
+    "AlexNet": (176.42, 16, 7.61),
+    "Inception-v3": (92.90, 196, 68.32),
+    "VGGNet-16": (512.32, 32, 30.92),
+    "LSTM": (35.93, 14, 33.33),
+    "GRU": (27.92, 11, 30.44),
+    "FCN-5": (204.47, 10, 4.88),
+}
+
+
+def test_table2(regen):
+    result = regen(table2)
+    for benchmark, (size_mb, count, ms) in PAPER_TABLE2.items():
+        row_size = result.cell("model_size_mb", benchmark=benchmark)
+        row_count = result.cell("variable_tensors", benchmark=benchmark)
+        row_ms = result.cell("sample_time_ms", benchmark=benchmark)
+        assert abs(row_size - size_mb) / size_mb < 0.005, benchmark
+        assert row_count == count, benchmark
+        assert abs(row_ms - ms) < 0.01, benchmark

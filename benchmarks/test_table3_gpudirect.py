@@ -1,0 +1,44 @@
+"""Table 3: GPUDirect RDMA improvements at 8 workers, batch 32.
+
+Paper: enabling GPUDirect improves AlexNet 32%, FCN-5 54%, VGG 13%,
+Inception-v3 0.4%, LSTM 24%, GRU 19%.
+"""
+
+from repro.harness import table3
+
+
+PAPER_IMPROVEMENT = {
+    "AlexNet": 32.0,
+    "FCN-5": 54.0,
+    "VGGNet-16": 13.0,
+    "Inception-v3": 0.4,
+    "LSTM": 24.0,
+    "GRU": 19.0,
+}
+
+
+def test_table3(regen):
+    result = regen(table3, iterations=3)
+    improvements = {row[0]: row[3] for row in result.rows}
+
+    # GDR helps the communication-bound models substantially.
+    assert improvements["AlexNet"] > 10
+    assert improvements["FCN-5"] > 10
+    assert improvements["VGGNet-16"] > 10
+    # Inception-v3 gains the least (paper: 0.4%, i.e. a wash — the
+    # dynamic-allocation protocol GDR mandates costs about what the
+    # PCIe staging saves for its many small tensors).
+    assert min(improvements, key=improvements.get) == "Inception-v3"
+    assert improvements["Inception-v3"] < 5
+    assert improvements["Inception-v3"] > -15
+    # Nothing else loses from GDR.
+    for model, gain in improvements.items():
+        if model != "Inception-v3":
+            assert gain >= -1.0, model
+
+    # Absolute magnitudes in the paper's range (tens to hundreds of
+    # ms; VGG lands within a few percent of the paper's 690.1 ms).
+    for row in result.rows:
+        assert 10 < row[1] < 2000
+    vgg = result.cell("rdma_ms", benchmark="VGGNet-16")
+    assert 400 < vgg < 1000

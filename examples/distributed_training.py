@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Distributed data-parallel training through the full stack.
+
+Trains a real two-layer classifier with SGD, with the variables hosted
+on a parameter-server partition and the compute on a worker partition
+of a different simulated server — so every weight read and gradient
+update crosses the (simulated) network through whichever transfer
+mechanism you pick.  The learned model is identical across mechanisms
+(the bytes are the bytes); what changes is simulated wall-clock time —
+the paper's convergence argument (Figure 10) in miniature.
+
+Run:  python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro.core import RdmaCommRuntime
+from repro.distributed.rpc_comm import GrpcCommRuntime
+from repro.graph import GraphBuilder, Session, minimize
+from repro.simnet import Cluster
+BATCH, FEATURES, CLASSES, HIDDEN = 64, 32, 4, 16
+STEPS = 40
+
+#: a fixed ground-truth projection makes the labels learnable
+_TRUE_W = np.random.default_rng(42).normal(size=(FEATURES, CLASSES))
+
+
+def learnable_batch(seed: int):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(size=(BATCH, FEATURES)).astype(np.float32)
+    labels = (x @ _TRUE_W).argmax(axis=1)
+    y = np.zeros((BATCH, CLASSES), dtype=np.float32)
+    y[np.arange(BATCH), labels] = 1.0
+    return x, y
+
+
+def build_graph():
+    """Sigmoid MLP; the backward pass comes from reverse-mode autodiff
+    (repro.graph.minimize), so only the forward pass is written out."""
+    rng = np.random.default_rng(0)
+    b = GraphBuilder("mlp")
+    w = "worker0"
+    x = b.placeholder([BATCH, FEATURES], name="x", device=w)
+    labels = b.placeholder([BATCH, CLASSES], name="labels", device=w)
+    w1 = b.variable([FEATURES, HIDDEN], name="w1", device="ps0",
+                    initializer=rng.normal(0, 0.3, (FEATURES, HIDDEN)))
+    w2 = b.variable([HIDDEN, CLASSES], name="w2", device="ps0",
+                    initializer=rng.normal(0, 0.3, (HIDDEN, CLASSES)))
+    hidden = b.sigmoid(b.matmul(x, w1, device=w), name="hidden", device=w)
+    logits = b.matmul(hidden, w2, name="logits", device=w)
+    loss, _ = b.softmax_cross_entropy(logits, labels, name="loss", device=w)
+    minimize(b, loss, lr=1.0)  # gradient graph + in-place PS updates
+    return b.finalize()
+
+
+def run(mechanism_name: str, comm):
+    cluster = Cluster(2)
+    session = Session(cluster, build_graph(),
+                      {"ps0": cluster.hosts[0], "worker0": cluster.hosts[1]},
+                      comm=comm)
+    losses = []
+    for step in range(STEPS):
+        x_val, y_val = learnable_batch(seed=step)
+        session.run(feeds={"x": x_val, "labels": y_val})
+        losses.append(round(float(session.numpy("loss")), 6))
+    simulated = cluster.sim.now
+    print(f"{mechanism_name:>10}: loss {losses[0]:.3f} -> {losses[-1]:.3f} "
+          f"in {simulated * 1e3:8.2f} ms simulated")
+    return losses, simulated
+
+
+def main() -> None:
+    print(f"training a {FEATURES}->{HIDDEN}->{CLASSES} classifier, "
+          f"{STEPS} steps; variables on ps0, compute on worker0\n")
+    results = {}
+    for name, comm in [("gRPC.TCP", GrpcCommRuntime(transport="tcp")),
+                       ("gRPC.RDMA", GrpcCommRuntime(transport="rdma")),
+                       ("RDMA.cp", RdmaCommRuntime(zero_copy=False)),
+                       ("RDMA", RdmaCommRuntime())]:
+        results[name] = run(name, comm)
+    # Same learning curve, different wall-clock.
+    assert results["RDMA"][0] == results["gRPC.TCP"][0], \
+        "mechanisms must not change the math"
+    speedup = results["gRPC.TCP"][1] / results["RDMA"][1]
+    print(f"\nidentical learning curves across mechanisms; RDMA finished "
+          f"{speedup:.2f}x faster than gRPC.TCP")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate a compact Figure 8: the two-server micro-benchmark.
+
+Sweeps tensor sizes over the four mechanisms of §5.1 and prints the
+transfer-throughput table, including the gRPC.RDMA crash at 1 GB.
+
+Run:  python examples/microbench_figure8.py
+"""
+
+from repro.workloads import sweep_microbench
+
+KB, MB, GB = 1024, 1024 ** 2, 1024 ** 3
+SIZES = (64 * KB, 1 * MB, 16 * MB, 256 * MB, 1 * GB)
+
+
+def label(size: int) -> str:
+    if size >= GB:
+        return f"{size // GB}GB"
+    if size >= MB:
+        return f"{size // MB}MB"
+    return f"{size // KB}KB"
+
+
+def main() -> None:
+    print("Figure 8 micro-benchmark: transfer throughput (Gbps), "
+          "2 servers, reduce_max consumer\n")
+    sweep = sweep_microbench(SIZES, iterations=3)
+    mechanisms = list(sweep)
+    header = f"{'size':>8}" + "".join(f"{m:>12}" for m in mechanisms)
+    print(header)
+    print("-" * len(header))
+    for index, size in enumerate(SIZES):
+        cells = []
+        for mechanism in mechanisms:
+            point = sweep[mechanism][index]
+            if point.throughput_gbps is None:
+                cells.append(f"{'CRASH':>12}")
+            else:
+                cells.append(f"{point.throughput_gbps:>12.2f}")
+        print(f"{label(size):>8}" + "".join(cells))
+    crash = sweep["gRPC.RDMA"][-1]
+    print(f"\ngRPC.RDMA @ 1GB: {crash.crash_reason[:100]}")
+    print("(TensorFlow's gRPC.RDMA crashed above 1 GB — paper §5.1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: the RDMA "device" abstraction on a simulated cluster.
+
+Reproduces the paper's Table 1 interface end to end:
+
+1. create a simulated two-server cluster;
+2. create an RDMA device on each server (CreateRdmaDevice);
+3. allocate RDMA-accessible memory regions (AllocateMemRegion);
+4. distribute the receiver's address through the vanilla RPC;
+5. copy a tensor with a one-sided write (RdmaChannel::Memcpy) and
+   detect completion with the tail flag byte — zero copies anywhere.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Direction, RdmaDevice, attach_address_book
+from repro.simnet import Cluster, Endpoint
+
+
+def main() -> None:
+    cluster = Cluster(2)
+    sender_host, receiver_host = cluster.hosts
+    print(f"cluster: {[h.name for h in cluster.hosts]}")
+
+    # -- Table 1: CreateRdmaDevice ------------------------------------------------
+    sender = RdmaDevice.create(sender_host, num_cqs=4, num_qps_per_peer=4,
+                               local_endpoint=Endpoint(sender_host.name, 7000))
+    receiver = RdmaDevice.create(receiver_host, num_cqs=4, num_qps_per_peer=4,
+                                 local_endpoint=Endpoint(receiver_host.name, 7000))
+
+    # -- Table 1: AllocateMemRegion -----------------------------------------------
+    tensor = np.arange(1024, dtype=np.float32)
+    nbytes = tensor.nbytes
+    src = sender.allocate_mem_region(nbytes, dense=True)
+    dst = receiver.allocate_mem_region(nbytes + 1, dense=True)  # +flag byte
+    src.write(tensor.tobytes())
+    print(f"allocated {nbytes} B on each side "
+          f"(rkeys {src.rkey}/{dst.rkey})")
+
+    # -- §3.1: distribute the remote address via the vanilla RPC -------------------
+    attach_address_book(receiver).publish("weights/W0", dst)
+    book = attach_address_book(sender)
+    fetch = cluster.sim.spawn(book.lookup(receiver.endpoint, "weights/W0"))
+    remote = cluster.sim.run_until_complete(fetch, limit=1.0)
+    print(f"address book: weights/W0 -> addr={remote.addr:#x} "
+          f"rkey={remote.rkey} (took {cluster.sim.now * 1e6:.1f} us simulated)")
+
+    # -- Table 1: GetChannel + Memcpy (one-sided write + flag byte) ----------------
+    channel = sender.get_channel(receiver.endpoint, qp_idx=1)
+
+    def transfer():
+        start = cluster.sim.now
+        # Payload write, then the 1-byte flag: ascending-address commit
+        # plus per-QP FIFO ordering make the flag the last byte to land.
+        channel.memcpy(local_addr=src.addr, local_region=src,
+                       remote_addr=remote.addr, remote_region=remote,
+                       size=nbytes, direction=Direction.LOCAL_TO_REMOTE)
+        done = channel.memcpy_event(
+            local_addr=0, local_region=None,
+            remote_addr=remote.addr + nbytes, remote_region=remote,
+            size=1, direction=Direction.LOCAL_TO_REMOTE,
+            inline_data=b"\x01")
+        yield done
+        return cluster.sim.now - start
+
+    def poll_flag():
+        polls = 0
+        while dst.read_byte(nbytes) != 1:
+            polls += 1
+            yield cluster.sim.timeout(1e-6)
+        return polls
+
+    send_proc = cluster.sim.spawn(transfer())
+    poll_proc = cluster.sim.spawn(poll_flag())
+    elapsed = cluster.sim.run_until_complete(send_proc, limit=1.0)
+    polls = cluster.sim.run_until_complete(poll_proc, limit=1.0)
+
+    received = np.frombuffer(dst.read(0, nbytes), dtype=np.float32)
+    assert np.array_equal(received, tensor)
+    print(f"one-sided write of {nbytes} B took {elapsed * 1e6:.2f} us "
+          f"simulated ({nbytes * 8 / elapsed / 1e9:.1f} Gbps)")
+    print(f"receiver detected completion after {polls} flag polls")
+    print("payload delivered byte-exactly into the preallocated tensor: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Variable-shape tensors: the dynamic-allocation transfer path (§3.3).
+
+RNN workloads (and wide-and-deep recommenders) produce tensors whose
+leading dimension changes every mini-batch, so receiver tensors cannot
+be preallocated.  The paper's protocol preallocates only the
+*fixed-size metadata slot* (the tensor's rank never changes), writes
+dims + source address + flag, and lets the receiver allocate and pull
+the payload with a one-sided READ.
+
+This example pushes batches of different lengths across two servers
+and shows (a) byte-exact delivery for every shape, (b) the measured
+overhead versus a statically shaped edge.
+
+Run:  python examples/variable_length_rnn.py
+"""
+
+import numpy as np
+
+from repro.core import RdmaCommRuntime
+from repro.graph import GraphBuilder, Session
+from repro.simnet import Cluster
+from repro.workloads import variable_length_batches
+
+
+FEATURES = 64
+
+
+def build(static_batch=None):
+    b = GraphBuilder("rnn-ish")
+    shape = [static_batch, FEATURES]
+    x = b.placeholder(shape, name="x", device="worker0")
+    steps = b.tanh(x, name="encode", device="worker0")
+    b.identity(steps, name="sink", device="ps0")  # crosses servers
+    return b.finalize()
+
+
+def main() -> None:
+    cluster = Cluster(2)
+    comm = RdmaCommRuntime()
+    session = Session(cluster, build(static_batch=None),
+                      {"ps0": cluster.hosts[0],
+                       "worker0": cluster.hosts[1]}, comm=comm)
+    (edge,) = session.partitioned.transfers
+    print(f"transfer edge {edge.key!r}: static_shape={edge.static_shape} "
+          "-> dynamic-allocation protocol\n")
+
+    batches = variable_length_batches(max_length=48, feature_dim=FEATURES,
+                                      count=6, seed=9)
+    for batch in batches:
+        session.run(feeds={"x": batch})
+        got = session.numpy("sink")
+        expected = np.tanh(batch)
+        assert got.shape == batch.shape
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+        print(f"  batch {batch.shape}: delivered byte-exactly "
+              f"({batch.nbytes} B pulled via one-sided READ)")
+
+    dynamic_time = cluster.sim.now
+    # Compare with a statically shaped run of the same total volume.
+    cluster2 = Cluster(2)
+    session2 = Session(cluster2, build(static_batch=24),
+                       {"ps0": cluster2.hosts[0],
+                        "worker0": cluster2.hosts[1]},
+                       comm=RdmaCommRuntime())
+    for seed in range(len(batches)):
+        rng = np.random.default_rng(seed)
+        session2.run(feeds={"x": rng.standard_normal(
+            (24, FEATURES)).astype(np.float32)})
+    static_time = cluster2.sim.now
+    print(f"\n6 dynamic transfers: {dynamic_time * 1e3:.3f} ms simulated; "
+          f"6 static transfers of similar volume: {static_time * 1e3:.3f} ms")
+    print("dynamic pays metadata exchange + allocation + READ round trip "
+          "(paper §3.3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro: reproduction of "Fast Distributed Deep Learning over RDMA".
+
+EuroSys '19, Xue, Miao, Chen, Wu, Zhang, Zhou (Microsoft Research).
+
+The package implements the paper's RDMA "device" communication
+abstraction, zero-copy tensor transfer, and RDMA-aware dataflow-graph
+analysis (``repro.core``) on top of a from-scratch simulated cluster
+substrate (``repro.simnet``), together with the gRPC-style baselines
+the paper compares against (``repro.rpc``), a TensorFlow-like dataflow
+runtime (``repro.graph``), a parameter-server training architecture
+(``repro.distributed``), the paper's benchmark model zoo
+(``repro.models``), and a harness regenerating every table and figure
+of the evaluation (``repro.harness``).
+"""
+
+__version__ = "1.0.0"

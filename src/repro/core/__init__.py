@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the RDMA device library, the
+zero-copy tensor transfer protocols, and the RDMA-aware graph analyzer
+with dynamic allocation-site tracing.
+"""
+
+from .address_book import AddressBook, attach_address_book
+from .analyzer import (DevicePlan, EdgePlan, RdmaGraphAnalyzer,
+                       find_static_source)
+from .device import (DeviceError, Direction, MemRegion, RdmaChannel,
+                     RdmaDevice, RemoteMemRegion)
+from .rdma_comm import RdmaCommRuntime
+from .tracing import AllocationSiteTracer
+from .transfer import (DynamicReceiver, DynamicSender, StaticReceiver,
+                       StaticSender, TransferState)
+
+__all__ = [
+    "AddressBook", "AllocationSiteTracer", "DevicePlan", "DeviceError",
+    "Direction", "DynamicReceiver", "DynamicSender", "EdgePlan", "MemRegion",
+    "RdmaChannel", "RdmaCommRuntime", "RdmaDevice", "RdmaGraphAnalyzer",
+    "RemoteMemRegion", "StaticReceiver", "StaticSender", "TransferState",
+    "attach_address_book", "find_static_source",
+]

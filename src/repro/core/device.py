@@ -1,0 +1,295 @@
+"""The RDMA "device" abstraction — the paper's Table 1 interface.
+
+A remote machine is exposed as a *device* from a data-access point of
+view: memory regions can be allocated on it and read/written directly
+over an RDMA channel, much like a local GPU (§3.1).
+
+* ``RdmaDevice.create(host, num_cqs, num_qps_per_peer, endpoint)``
+* ``device.allocate_mem_region(size)``
+* ``device.get_channel(remote_endpoint, qp_idx)``
+* ``channel.memcpy(local_addr, local_region, remote_addr, remote_region,
+  size, direction, callback)``
+
+The device owns ``num_cqs`` completion queues, each drained by its own
+poller (the thread pool of Figure 4); QPs created towards a peer are
+associated with CQs round-robin, and the channel-acquiring interface
+lets a multi-threaded workload pick its QP explicitly to spread load.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..simnet.costmodel import CostModel
+from ..simnet.memory import Buffer, MemoryRegion
+from ..simnet.nic import CompletionQueue, QueuePair
+from ..simnet.simulator import Event, Simulator
+from ..simnet.topology import Endpoint, Host
+from ..simnet.verbs import Completion, Opcode, WcStatus, WorkRequest
+
+
+class DeviceError(RuntimeError):
+    """Misuse of the device library or failed verbs."""
+
+
+class Direction(enum.Enum):
+    """Transfer direction for :meth:`RdmaChannel.memcpy`."""
+
+    LOCAL_TO_REMOTE = "write"   # one-sided RDMA WRITE
+    REMOTE_TO_LOCAL = "read"    # one-sided RDMA READ
+
+
+@dataclass(frozen=True)
+class RemoteMemRegion:
+    """A remote region as seen locally: address, rkey, size.
+
+    Obtained through the address book (the vanilla RPC of §3.1); this
+    is all the information a one-sided verb needs.
+    """
+
+    addr: int
+    rkey: int
+    size: int
+
+
+class MemRegion:
+    """A locally allocated, NIC-registered memory region."""
+
+    def __init__(self, device: "RdmaDevice", buffer: Buffer,
+                 region: MemoryRegion) -> None:
+        self.device = device
+        self.buffer = buffer
+        self.region = region
+
+    @property
+    def addr(self) -> int:
+        return self.buffer.addr
+
+    @property
+    def size(self) -> int:
+        return self.buffer.size
+
+    @property
+    def lkey(self) -> int:
+        return self.region.lkey
+
+    @property
+    def rkey(self) -> int:
+        return self.region.rkey
+
+    def descriptor(self) -> RemoteMemRegion:
+        """What a peer needs to access this region remotely."""
+        return RemoteMemRegion(addr=self.addr, rkey=self.rkey, size=self.size)
+
+    def read(self, offset: int = 0, length: Optional[int] = None) -> bytes:
+        return self.buffer.read(offset, length)
+
+    def read_byte(self, offset: int) -> int:
+        return self.buffer.read_byte(offset)
+
+    def write(self, data: bytes, offset: int = 0) -> None:
+        self.buffer.write(data, offset)
+
+
+class RdmaChannel:
+    """A channel: one QP towards one peer, with an async memcpy."""
+
+    def __init__(self, device: "RdmaDevice", peer: Endpoint,
+                 qp: QueuePair, qp_idx: int) -> None:
+        self.device = device
+        self.peer = peer
+        self.qp = qp
+        self.qp_idx = qp_idx
+        self.bytes_transferred = 0
+
+    def memcpy(self, local_addr: int, local_region: Optional[MemRegion],
+               remote_addr: int, remote_region: RemoteMemRegion, size: int,
+               direction: Direction,
+               callback: Optional[Callable[[Completion], None]] = None,
+               inline_data: Optional[bytes] = None) -> int:
+        """Asynchronously copy between local and remote memory.
+
+        Returns the work-request id.  ``callback`` fires (from the CQ
+        poller) when the verb completes.  ``inline_data`` replaces the
+        local region for small writes (e.g. flag bytes).
+        """
+        if direction is Direction.LOCAL_TO_REMOTE:
+            opcode = Opcode.WRITE
+        elif direction is Direction.REMOTE_TO_LOCAL:
+            opcode = Opcode.READ
+            if inline_data is not None:
+                raise DeviceError("cannot use inline data with a READ")
+        else:  # pragma: no cover - enum is closed
+            raise DeviceError(f"bad direction {direction}")
+        if inline_data is None and local_region is None:
+            raise DeviceError("memcpy needs a local region or inline data")
+        wr = WorkRequest(
+            opcode=opcode, size=size,
+            local_addr=local_addr,
+            lkey=local_region.lkey if local_region else 0,
+            remote_addr=remote_addr, rkey=remote_region.rkey,
+            inline_data=inline_data,
+            signaled=True)
+        self.device._register_callback(wr.wr_id, callback)
+        self.qp.post_send(wr)
+        self.bytes_transferred += wr.size
+        return wr.wr_id
+
+    def memcpy_event(self, *args, **kwargs) -> Event:
+        """Like :meth:`memcpy` but returns an Event firing on completion.
+
+        The event fails if the verb completes with an error status.
+        """
+        event = self.device.sim.event()
+
+        def on_complete(completion: Completion) -> None:
+            if completion.ok:
+                event.succeed(completion)
+            else:
+                event.fail(DeviceError(
+                    f"memcpy failed: {completion.status.value}"))
+        self.memcpy(*args, callback=on_complete, **kwargs)
+        return event
+
+
+class RdmaDevice:
+    """One NIC exposed through the paper's device interface."""
+
+    SERVICE_PREFIX = "rdma-device"
+
+    def __init__(self, host: Host, num_cqs: int, num_qps_per_peer: int,
+                 endpoint: Endpoint) -> None:
+        if num_cqs < 1 or num_qps_per_peer < 1:
+            raise DeviceError("need at least one CQ and one QP per peer")
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.cost: CostModel = host.cost
+        self.endpoint = endpoint
+        self.num_cqs = num_cqs
+        self.num_qps_per_peer = num_qps_per_peer
+        self.cqs: List[CompletionQueue] = [
+            host.nic.create_cq() for _ in range(num_cqs)]
+        self._next_cq = 0
+        self._channels: Dict[Tuple[Endpoint, int], RdmaChannel] = {}
+        self._callbacks: Dict[int, Optional[Callable]] = {}
+        self.regions: List[MemRegion] = []
+        self._pollers = [self.sim.spawn(self._poll_loop(cq),
+                                        name=f"cq-poller-{endpoint}-{i}")
+                         for i, cq in enumerate(self.cqs)]
+        host.cluster.services[self._service_key(endpoint)] = self
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def create(cls, host: Host, num_cqs: int, num_qps_per_peer: int,
+               local_endpoint: Endpoint) -> "RdmaDevice":
+        """CreateRdmaDevice of Table 1."""
+        key = cls._service_key(local_endpoint)
+        if key in host.cluster.services:
+            raise DeviceError(f"device already exists at {local_endpoint}")
+        return cls(host, num_cqs, num_qps_per_peer, local_endpoint)
+
+    @staticmethod
+    def _service_key(endpoint: Endpoint) -> Endpoint:
+        return Endpoint(f"{RdmaDevice.SERVICE_PREFIX}:{endpoint.host}",
+                        endpoint.port)
+
+    @classmethod
+    def lookup(cls, host: Host, endpoint: Endpoint) -> "RdmaDevice":
+        device = host.cluster.services.get(cls._service_key(endpoint))
+        if not isinstance(device, RdmaDevice):
+            raise DeviceError(f"no RDMA device at {endpoint}")
+        return device
+
+    # -- Table 1 interface ------------------------------------------------------------
+
+    def allocate_mem_region(self, size_in_bytes: int, label: str = "",
+                            dense: Optional[bool] = None) -> MemRegion:
+        """AllocateMemRegion: RDMA-accessible memory on this device."""
+        buffer = self.host.allocate(size_in_bytes, label=label or "memregion",
+                                    dense=dense)
+        region = self.host.nic.register_memory(buffer)
+        mem = MemRegion(self, buffer, region)
+        self.regions.append(mem)
+        return mem
+
+    def register_existing(self, buffer: Buffer) -> MemRegion:
+        """Register an already-allocated buffer (e.g. an executor arena)."""
+        region = self.host.nic.register_memory(buffer)
+        mem = MemRegion(self, buffer, region)
+        self.regions.append(mem)
+        return mem
+
+    def free_mem_region(self, mem: MemRegion) -> None:
+        self.host.nic.deregister_memory(mem.region)
+        self.host.address_space.free(mem.buffer)
+        self.regions.remove(mem)
+
+    def get_channel(self, remote_endpoint: Endpoint, qp_idx: int = 0) -> RdmaChannel:
+        """GetChannel: a channel to a peer over the qp_idx-th QP.
+
+        QPs are created lazily on first use and spread over this
+        device's CQs round-robin (Figure 4).
+        """
+        if not 0 <= qp_idx < self.num_qps_per_peer:
+            raise DeviceError(
+                f"qp_idx {qp_idx} out of range (device configured with "
+                f"{self.num_qps_per_peer} QPs per peer)")
+        key = (remote_endpoint, qp_idx)
+        channel = self._channels.get(key)
+        if channel is None:
+            peer = RdmaDevice.lookup(self.host, remote_endpoint)
+            cq = self.cqs[self._next_cq % self.num_cqs]
+            self._next_cq += 1
+            local_qp = self.host.nic.create_qp(cq)
+            peer_cq = peer.cqs[peer._next_cq % peer.num_cqs]
+            peer._next_cq += 1
+            remote_qp = peer.host.nic.create_qp(peer_cq)
+            local_qp.connect(remote_qp)
+            channel = RdmaChannel(self, remote_endpoint, local_qp, qp_idx)
+            self._channels[key] = channel
+            # The peer gets the mirror channel for send/recv messaging.
+            peer._channels[(self.endpoint, qp_idx)] = RdmaChannel(
+                peer, self.endpoint, remote_qp, qp_idx)
+        return channel
+
+    def post_recv(self, channel: RdmaChannel, mem: MemRegion,
+                  callback: Optional[Callable[[Completion], None]] = None,
+                  offset: int = 0, size: Optional[int] = None) -> int:
+        """Post a two-sided receive into ``mem`` (messaging verbs).
+
+        Used by the vanilla-RPC address-distribution path (§3.1), not
+        by tensor transfer.
+        """
+        wr = WorkRequest(opcode=Opcode.RECV,
+                         size=size if size is not None else mem.size - offset,
+                         local_addr=mem.addr + offset, lkey=mem.lkey)
+        self._register_callback(wr.wr_id, callback)
+        channel.qp.post_recv(wr)
+        return wr.wr_id
+
+    def post_send_message(self, channel: RdmaChannel, data: bytes,
+                          callback: Optional[Callable[[Completion], None]] = None) -> int:
+        """Send a small message over the messaging verbs (inline)."""
+        wr = WorkRequest(opcode=Opcode.SEND, inline_data=data)
+        self._register_callback(wr.wr_id, callback)
+        channel.qp.post_send(wr)
+        return wr.wr_id
+
+    # -- completion dispatch -------------------------------------------------------------
+
+    def _register_callback(self, wr_id: int,
+                           callback: Optional[Callable]) -> None:
+        self._callbacks[wr_id] = callback
+
+    def _poll_loop(self, cq: CompletionQueue) -> Generator:
+        """One CQ poller of the device's thread pool."""
+        while True:
+            yield cq.wait()
+            for completion in cq.poll(max_entries=64):
+                callback = self._callbacks.pop(completion.wr_id, None)
+                if callback is not None:
+                    callback(completion)

@@ -1,0 +1,75 @@
+"""Dynamic allocation-site tracing (paper §3.4, "decide tensor
+allocation site").
+
+During the first mini-batch iteration the tracer observes every tensor
+allocation, recording ``buffer address -> (graph node, allocation
+index)`` — newest record wins, because in-place operators pass one
+buffer through several nodes and only the *latest allocator* of an
+address is the true allocation site.  Whenever a tensor is handed to a
+cross-server transfer, the tracer looks its address up in that map and
+adds the allocation site to the set **S**.  From the second iteration
+on, allocations whose site is in S are served from the RDMA arena, so
+to-be-transferred tensors are born RDMA-accessible and the sender-side
+copy disappears.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..graph.allocator import ArenaAllocator, BaseAllocator
+from ..graph.executor import Executor
+from ..graph.tensor import Tensor
+
+
+Site = Tuple[str, int]  # (node name, allocation index within the node)
+
+
+class AllocationSiteTracer:
+    """Per-executor tracer implementing the two-phase scheme of §3.4."""
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        #: address -> allocation site, refreshed on every allocation
+        self.address_map: Dict[int, Site] = {}
+        #: the set S: sites whose tensors get transferred
+        self.hot_sites: Set[Site] = set()
+        #: sites the static analyzer decided on (variables feeding sends)
+        self.static_sites: Set[Site] = set()
+        self.lookups_missed = 0
+        self._install()
+
+    def _install(self) -> None:
+        self.executor.heap.add_observer(self._on_allocation)
+        if self.executor.arena is not None:
+            self.executor.arena.add_observer(self._on_allocation)
+        self.executor.allocation_policy = self._policy
+
+    def observe_arena(self, arena: ArenaAllocator) -> None:
+        """Attach to an arena installed after the tracer was created."""
+        arena.add_observer(self._on_allocation)
+
+    # -- observation ---------------------------------------------------------------------
+
+    def _on_allocation(self, tensor: Tensor, node_name: Optional[str],
+                       alloc_index: int) -> None:
+        if node_name is None:
+            return
+        # Latest writer wins: re-allocated addresses are re-attributed.
+        self.address_map[tensor.addr] = (node_name, alloc_index)
+
+    def on_send(self, tensor: Tensor) -> None:
+        """Called by the transfer mechanism for every outgoing tensor."""
+        site = self.address_map.get(tensor.addr)
+        if site is None:
+            self.lookups_missed += 1
+            return
+        self.hot_sites.add(site)
+
+    # -- the allocation policy -------------------------------------------------------------
+
+    def _policy(self, node_name: str, alloc_index: int) -> Optional[BaseAllocator]:
+        site = (node_name, alloc_index)
+        if site in self.static_sites or site in self.hot_sites:
+            return self.executor.arena
+        return None

@@ -1,0 +1,133 @@
+"""Model-parallel training: pipeline the layers across servers.
+
+The paper's distributed dataflow model "offers convenience and
+flexibility to allow not only data-parallelism, but also
+model-parallelism, which is critical when the deep learning model size
+is large" (§2.1, Figure 2).  This module builds exactly that: the
+model's layers are split into contiguous *stages*, each stage's
+variables live on their own server, and what crosses the network is
+the **activations** (forward) and **activation gradients** (backward)
+between adjacent stages — all through the same Send/Recv machinery,
+so every transfer mechanism (gRPC or the paper's RDMA protocols)
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..graph.builder import GraphBuilder
+from ..graph.dtypes import DType
+from ..graph.node import Graph
+from ..graph.shapes import Shape
+from ..models.spec import ModelSpec
+
+
+_LR = 0.01
+
+
+@dataclass
+class ModelParallelJob:
+    """A built pipeline-parallel training graph."""
+
+    graph: Graph
+    spec: ModelSpec
+    num_stages: int
+    batch_size: int
+    devices: List[str]
+    activation_bytes: int
+
+    @property
+    def cross_stage_bytes_per_step(self) -> int:
+        """Activations forward + gradients backward per boundary."""
+        return 2 * self.activation_bytes * (self.num_stages - 1)
+
+
+def split_stages(spec: ModelSpec, num_stages: int) -> List[List[int]]:
+    """Split layer indices into contiguous, byte-balanced stages."""
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    if num_stages > spec.num_variables:
+        raise ValueError(f"{num_stages} stages but only "
+                         f"{spec.num_variables} layers")
+    target = spec.model_bytes / num_stages
+    stages: List[List[int]] = []
+    current: List[int] = []
+    accumulated = 0
+    for index, variable in enumerate(spec.variables):
+        current.append(index)
+        accumulated += variable.nbytes
+        remaining_layers = spec.num_variables - index - 1
+        stages_still_needed = num_stages - len(stages) - 1
+        must_split = remaining_layers == stages_still_needed
+        if len(stages) < num_stages - 1 and (accumulated >= target
+                                             or must_split):
+            stages.append(current)
+            current, accumulated = [], 0
+    stages.append(current)
+    return stages
+
+
+def build_model_parallel_graph(
+        spec: ModelSpec, num_stages: int, batch_size: int,
+        activation_elements_per_sample: int = 4096) -> ModelParallelJob:
+    """Build the pipeline: stage i computes its layers, ships the
+    activation tensor to stage i+1; the backward pass returns."""
+    stages = split_stages(spec, num_stages)
+    builder = GraphBuilder(f"{spec.name}-model-parallel")
+    half = spec.compute_time(batch_size) / 2.0
+    total_bytes = max(spec.model_bytes, 1)
+    activation_shape = Shape([batch_size, activation_elements_per_sample])
+    activation_bytes = batch_size * activation_elements_per_sample * 4
+
+    # Stage-local variables.
+    variable_outputs = {}
+    for stage_index, layer_indices in enumerate(stages):
+        device = f"stage{stage_index}"
+        for layer in layer_indices:
+            var = spec.variables[layer]
+            variable_outputs[layer] = builder.variable(
+                Shape(var.shape), DType.float32, name=var.name,
+                device=device)
+
+    # Forward pipeline.
+    previous = None
+    stage_tail = {}
+    for stage_index, layer_indices in enumerate(stages):
+        device = f"stage{stage_index}"
+        for layer in layer_indices:
+            var = spec.variables[layer]
+            inputs = [variable_outputs[layer]]
+            if previous is not None:
+                inputs.append(previous)
+            share = half * var.nbytes / total_bytes
+            previous = builder.synthetic_compute(
+                share, inputs=inputs,
+                outputs=[(DType.float32, activation_shape)],
+                name=f"fwd/{var.name}", device=device)
+        stage_tail[stage_index] = previous
+
+    # Backward pipeline (reverse stage order); each layer's stage
+    # applies its own gradient locally — no parameter server.
+    for stage_index in reversed(range(len(stages))):
+        device = f"stage{stage_index}"
+        for layer in reversed(stages[stage_index]):
+            var = spec.variables[layer]
+            share = half * var.nbytes / total_bytes
+            grad_stage = builder.synthetic_compute(
+                share, inputs=[previous],
+                outputs=[(DType.float32, activation_shape),
+                         (DType.float32, Shape(var.shape))],
+                name=f"bwd/{var.name}", device=device)
+            previous = grad_stage
+            builder.apply_gradient(
+                variable_outputs[layer], grad_stage.node.output(1),
+                lr=_LR, name=f"apply/{var.name}", device=device)
+
+    graph = builder.finalize()
+    return ModelParallelJob(
+        graph=graph, spec=spec, num_stages=num_stages,
+        batch_size=batch_size,
+        devices=sorted({n.device for n in graph}),
+        activation_bytes=activation_bytes)

@@ -1,0 +1,132 @@
+"""Data-parallel graph replication over a parameter-server cluster.
+
+Builds the distributed training step of Figure 3: each worker holds a
+replica whose *GenGrad* sub-graph (synthetic compute charged with the
+benchmark's measured per-batch time) consumes the current weights and
+produces one gradient tensor per variable; the gradients flow to the
+variables' parameter-server shards, where *ApplyGrad* updates the
+shared weights in place; the updated weights flow back to every worker
+for the next mini-batch.  Each mini-batch therefore moves
+2 x model_size bytes per worker across the network — the paper's
+communication-volume characterization (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..graph.builder import GraphBuilder
+from ..graph.dtypes import DType
+from ..graph.node import Graph
+from ..graph.shapes import Shape
+from ..models.spec import ModelSpec
+from .placement import greedy_placement, round_robin_placement
+
+
+#: simulated time for a PS shard to apply one gradient (per byte cost
+#: is charged by the ApplyGradient op itself)
+_LR = 0.01
+
+
+@dataclass
+class TrainingJob:
+    """A built distributed training graph plus its device layout."""
+
+    graph: Graph
+    spec: ModelSpec
+    num_workers: int
+    num_ps: int
+    batch_size: int
+    devices: List[str]
+
+    @property
+    def bytes_per_worker_per_step(self) -> int:
+        return 2 * self.spec.model_bytes
+
+
+def build_training_graph(spec: ModelSpec, num_workers: int,
+                         batch_size: int,
+                         num_ps: Optional[int] = None,
+                         local: bool = False,
+                         placement: str = "round_robin") -> TrainingJob:
+    """Construct the replicated data-parallel training graph.
+
+    ``local=True`` builds the paper's "Local" baseline: a single
+    device holding both the variables and the compute, so no
+    cross-server transfer happens at all (Figure 11's Local line).
+    ``placement`` selects the variable-sharding strategy:
+    ``"round_robin"`` (the paper's §5.2 default) or ``"greedy"``
+    (byte-balanced; an extension).
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    num_ps = num_workers if num_ps is None else num_ps
+    builder = GraphBuilder(f"{spec.name}-train")
+    if placement == "round_robin":
+        shards = round_robin_placement(spec, num_ps)
+    elif placement == "greedy":
+        shards = greedy_placement(spec, num_ps)
+    else:
+        raise ValueError(f"unknown placement strategy {placement!r}")
+
+    # Shared variables on their PS shards (or the single local device).
+    variable_outputs = {}
+    variable_device = {}
+    for shard, variables in shards.items():
+        device = "local0" if local else shard
+        for var in variables:
+            out = builder.variable(Shape(var.shape), DType.float32,
+                                   name=var.name, device=device)
+            variable_outputs[var.name] = out
+            variable_device[var.name] = device
+
+    # Per-layer compute-time split: each variable's share of the
+    # forward (and backward) pass is proportional to its size, so big
+    # layers take longer — and transfers overlap compute exactly as in
+    # a real dataflow execution (layer k+1's weights stream in while
+    # layer k computes; early gradients ship while later layers are
+    # still in backward).
+    total_bytes = max(spec.model_bytes, 1)
+    step_compute = spec.compute_time(batch_size)
+    half = step_compute / 2.0
+    weights = [v.nbytes / total_bytes for v in spec.variables]
+
+    for worker_index in range(num_workers):
+        worker = "local0" if local else f"worker{worker_index}"
+        # Workers read the current weights (PS -> worker transfers).
+        reads = [builder.identity(variable_outputs[v.name],
+                                  name=f"w{worker_index}/read/{v.name}",
+                                  device=worker)
+                 for v in spec.variables]
+        # Forward chain: layer i needs its weights and layer i-1.
+        previous = None
+        forward_stages = []
+        for i, var in enumerate(spec.variables):
+            inputs = [reads[i]]
+            if previous is not None:
+                inputs.append(previous)
+            stage = builder.synthetic_compute(
+                half * weights[i], inputs=inputs,
+                name=f"w{worker_index}/fwd/{var.name}", device=worker)
+            forward_stages.append(stage)
+            previous = stage
+        # Backward chain (reverse order), each stage emitting its
+        # layer's gradient, which ships to the PS immediately.
+        for i in reversed(range(len(spec.variables))):
+            var = spec.variables[i]
+            stage = builder.synthetic_compute(
+                half * weights[i],
+                outputs=[(DType.float32, Shape(var.shape))],
+                inputs=[previous],
+                name=f"w{worker_index}/bwd/{var.name}", device=worker)
+            previous = stage
+            builder.apply_gradient(
+                variable_outputs[var.name], stage, lr=_LR,
+                name=f"w{worker_index}/apply/{var.name}",
+                device=variable_device[var.name])
+
+    graph = builder.finalize()
+    devices = sorted({node.device for node in graph})
+    return TrainingJob(graph=graph, spec=spec, num_workers=num_workers,
+                       num_ps=num_ps, batch_size=batch_size, devices=devices)

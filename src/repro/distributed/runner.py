@@ -1,0 +1,118 @@
+"""End-to-end distributed training benchmark runner.
+
+One call = one cell of the paper's evaluation matrix: (model,
+mechanism, number of servers, mini-batch size) -> steady-state
+mini-batch time and throughput.  The deployment follows §5.2: every
+server runs one worker process and one parameter-server process, and
+the paper's "Local" baseline runs compute and variables on a single
+server with no communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.rdma_comm import RdmaCommRuntime
+from ..graph.session import RunStats, Session
+from ..graph.transfer_api import CommRuntime, NullComm
+from ..models.spec import ModelSpec
+from ..simnet.costmodel import CostModel
+from ..simnet.topology import Cluster
+from .replication import TrainingJob, build_training_graph
+from .rpc_comm import GrpcCommRuntime
+
+
+MECHANISMS = ("gRPC.TCP", "gRPC.RDMA", "RDMA", "RDMA.cp", "RDMA.gpu",
+              "RDMA+GDR", "Local")
+
+
+def make_mechanism(name: str) -> CommRuntime:
+    """Instantiate a transfer mechanism by its evaluation label."""
+    if name == "gRPC.TCP":
+        return GrpcCommRuntime(transport="tcp")
+    if name == "gRPC.RDMA":
+        return GrpcCommRuntime(transport="rdma")
+    if name == "RDMA":
+        return RdmaCommRuntime(zero_copy=True)
+    if name == "RDMA.cp":
+        return RdmaCommRuntime(zero_copy=False)
+    if name == "RDMA.gpu":
+        # Tensors in GPU memory without GPUDirect: PCIe staging on
+        # both ends of every transfer (the Table 3 "RDMA" column).
+        return RdmaCommRuntime(zero_copy=True, gpu_tensors=True)
+    if name == "RDMA+GDR":
+        return RdmaCommRuntime(zero_copy=True, gpu_tensors=True,
+                               gpudirect=True)
+    if name == "Local":
+        return NullComm()
+    raise ValueError(f"unknown mechanism {name!r}; have {MECHANISMS}")
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one benchmark configuration."""
+
+    model: str
+    mechanism: str
+    num_servers: int
+    batch_size: int
+    stats: RunStats
+    crashed: bool = False
+    crash_reason: str = ""
+
+    @property
+    def step_time(self) -> float:
+        """Steady-state seconds per mini-batch (excludes iteration 0)."""
+        return self.stats.steady_state_time
+
+    @property
+    def throughput(self) -> float:
+        """Mini-batches per second (per worker, steady state)."""
+        return self.stats.throughput
+
+    @property
+    def samples_per_second(self) -> float:
+        """Aggregate samples/s across all workers."""
+        return self.throughput * self.batch_size * self.num_servers
+
+
+def run_training_benchmark(spec: ModelSpec, mechanism: str,
+                           num_servers: int, batch_size: int,
+                           iterations: int = 4,
+                           cost: Optional[CostModel] = None,
+                           comm: Optional[CommRuntime] = None,
+                           placement: str = "round_robin",
+                           time_limit: float = 36000.0) -> BenchmarkResult:
+    """Run one (model, mechanism, scale, batch) configuration.
+
+    ``comm`` overrides the mechanism object (for ablations); the
+    ``mechanism`` string is still used for labeling.  gRPC.RDMA crashes
+    (oversized messages, §5.1/§5.2) are captured as a crashed result
+    rather than raising, mirroring how the paper reports them.
+    """
+    local = mechanism == "Local"
+    job = build_training_graph(spec, num_workers=1 if local else num_servers,
+                               batch_size=batch_size, local=local,
+                               placement=placement)
+    cluster = Cluster(1 if local else num_servers, cost=cost)
+    device_hosts = {}
+    for device in job.devices:
+        if device == "local0":
+            device_hosts[device] = cluster.hosts[0]
+        else:
+            index = int(device.lstrip("workerps"))
+            device_hosts[device] = cluster.hosts[index]
+    comm = comm or make_mechanism(mechanism)
+    try:
+        session = Session(cluster, job.graph, device_hosts, comm=comm)
+        stats = session.run(iterations=iterations, time_limit=time_limit)
+    except Exception as exc:  # noqa: BLE001 - crash capture is the point
+        return BenchmarkResult(model=spec.name, mechanism=mechanism,
+                               num_servers=num_servers,
+                               batch_size=batch_size,
+                               stats=RunStats(iterations=0),
+                               crashed=True, crash_reason=str(exc))
+    return BenchmarkResult(model=spec.name, mechanism=mechanism,
+                           num_servers=num_servers, batch_size=batch_size,
+                           stats=stats)

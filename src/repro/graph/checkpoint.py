@@ -1,0 +1,111 @@
+"""Variable checkpointing: save/restore session state to ``.npz``.
+
+A training framework needs durable model state; this module snapshots
+every dense variable of a session (wherever its partition lives) into
+a single numpy archive and restores it into the same or a differently
+partitioned session — e.g. train data-parallel on 8 simulated servers,
+then restore into a single-device session for inspection.
+
+Virtual variables (the size-only tensors of the large benchmark
+models) carry no values and are recorded as shapes only; restoring
+them validates shape/dtype without moving bytes.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from .executor import ExecutorError
+from .session import Session
+from .tensor import Tensor
+
+
+_META_PREFIX = "__virtual__/"
+
+
+class CheckpointError(RuntimeError):
+    """Save/restore mismatches (unknown variable, shape conflict)."""
+
+
+def variable_state(session: Session) -> Dict[str, Tensor]:
+    """All variables across the session's executors, by name."""
+    state: Dict[str, Tensor] = {}
+    for executor in session.executors.values():
+        for name, tensor in executor.variables.items():
+            if name in state:
+                raise CheckpointError(f"variable {name!r} appears on "
+                                      "multiple partitions")
+            state[name] = tensor
+    return state
+
+
+def save(session: Session, path: str,
+         names: Optional[Iterable[str]] = None) -> int:
+    """Write variables to ``path`` (.npz); returns the variable count."""
+    state = variable_state(session)
+    selected = dict(state) if names is None else {
+        name: _lookup(state, name) for name in names}
+    arrays: Dict[str, np.ndarray] = {}
+    for name, tensor in selected.items():
+        if tensor.is_dense:
+            arrays[name] = tensor.array.copy()
+        else:
+            # Virtual variable: record dtype code + dims as metadata.
+            arrays[_META_PREFIX + name] = np.array(
+                [tensor.dtype.code, *tensor.shape.as_tuple()],
+                dtype=np.int64)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    return len(selected)
+
+
+def restore(session: Session, path: str, strict: bool = True) -> int:
+    """Load variables from ``path`` into the session's partitions.
+
+    ``strict`` requires every archived variable to exist with matching
+    shape/dtype; otherwise unknown names are skipped.  Returns the
+    number of variables restored (dense) or validated (virtual).
+    """
+    state = variable_state(session)
+    with np.load(path) as archive:
+        count = 0
+        for key in archive.files:
+            virtual = key.startswith(_META_PREFIX)
+            name = key[len(_META_PREFIX):] if virtual else key
+            tensor = state.get(name)
+            if tensor is None:
+                if strict:
+                    raise CheckpointError(
+                        f"checkpoint has {name!r} but the session does not")
+                continue
+            if virtual:
+                meta = archive[key]
+                dims = tuple(int(d) for d in meta[1:])
+                if tensor.shape.as_tuple() != dims:
+                    raise CheckpointError(
+                        f"{name!r}: checkpoint shape {dims} != "
+                        f"session shape {tensor.shape}")
+                count += 1
+                continue
+            values = archive[key]
+            if values.shape != tensor.shape.as_tuple():
+                raise CheckpointError(
+                    f"{name!r}: checkpoint shape {values.shape} != "
+                    f"session shape {tensor.shape}")
+            if not tensor.is_dense:
+                raise CheckpointError(
+                    f"{name!r}: cannot restore values into a virtual "
+                    "(size-only) variable")
+            tensor.copy_from(values.astype(tensor.dtype.np))
+            count += 1
+    return count
+
+
+def _lookup(state: Dict[str, Tensor], name: str) -> Tensor:
+    try:
+        return state[name]
+    except KeyError:
+        raise CheckpointError(f"unknown variable {name!r}")

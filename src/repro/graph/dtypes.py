@@ -1,0 +1,51 @@
+"""Element types for tensors, with numpy interop."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Supported tensor element types (a subset of TensorFlow's)."""
+
+    float16 = ("float16", 2)
+    float32 = ("float32", 4)
+    float64 = ("float64", 8)
+    int32 = ("int32", 4)
+    int64 = ("int64", 8)
+    uint8 = ("uint8", 1)
+
+    def __init__(self, type_name: str, nbytes: int) -> None:
+        self.type_name = type_name
+        self.size = nbytes
+
+    @property
+    def np(self) -> np.dtype:
+        """The corresponding numpy dtype."""
+        return np.dtype(self.type_name)
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DType":
+        name = np.dtype(dtype).name
+        for member in cls:
+            if member.type_name == name:
+                return member
+        raise TypeError(f"unsupported numpy dtype {name!r}")
+
+    @classmethod
+    def from_code(cls, code: int) -> "DType":
+        """Inverse of :attr:`code`, for metadata deserialization."""
+        for member in cls:
+            if member.code == code:
+                return member
+        raise ValueError(f"unknown dtype code {code}")
+
+    @property
+    def code(self) -> int:
+        """Stable small integer for wire encoding of tensor metadata."""
+        return list(type(self)).index(self)
+
+    def __repr__(self) -> str:
+        return f"DType.{self.type_name}"

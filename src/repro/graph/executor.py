@@ -1,0 +1,322 @@
+"""The per-device graph executor: a ready-queue scheduler.
+
+Implements the three operator execution modes of §4:
+
+* **synchronous** — the op's simulated cost elapses, outputs appear;
+* **asynchronous** — the op parks on an event (an RPC reply, a verb
+  completion) while the executor keeps draining the ready queue;
+* **polling-async** — the new mode the paper introduces for
+  ``RdmaRecv``/``RdmaRecvDyn``: the op polls a flag byte; on a miss it
+  is re-enqueued at the *tail* of the ready queue so other ready work
+  runs first; when the queue holds only pollers, the executor backs
+  off with exponentially growing idle waits (bounded), so polling
+  neither starves real work nor spins the simulated CPU.
+
+Each executor owns the allocators for its device; allocation of every
+op output goes through :meth:`allocate_output`, which consults the
+session's allocation policy — the hook the dynamic tracer (§3.4) uses
+to steer traced allocation sites into the RDMA arena.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..simnet.simulator import Event, Simulator
+from ..simnet.topology import Host
+from .allocator import ArenaAllocator, BaseAllocator, HostAllocator
+from .dtypes import DType
+from .node import Graph, GraphError, Node
+from .ops import get_op
+from .shapes import Shape
+from .tensor import Tensor
+from .transfer_api import CommRuntime, Outcome
+
+
+class ExecutorError(RuntimeError):
+    """Runtime execution failures."""
+
+
+#: exponential idle backoff for pure-polling phases
+_IDLE_BACKOFF_MAX = 500e-6
+
+
+class Executor:
+    """Runs one partition subgraph on one simulated host, repeatedly."""
+
+    def __init__(self, host: Host, graph: Graph, device: str,
+                 comm: CommRuntime, allocation_policy=None) -> None:
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.cost = host.cost
+        self.graph = graph
+        self.device = device
+        self.comm = comm
+        self.heap = HostAllocator(host, name=f"heap:{device}")
+        #: the RDMA arena; installed by the analyzer when RDMA is in play
+        self.arena: Optional[ArenaAllocator] = None
+        #: (node_name, alloc_index) -> BaseAllocator override
+        self.allocation_policy = allocation_policy or (lambda node, idx: None)
+        self.variables: Dict[str, Tensor] = {}
+        #: receiver-side tensors preallocated by the analyzer (key -> Tensor)
+        self.preallocated_recv: Dict[str, Tensor] = {}
+        self.values: Dict[Tuple[str, int], Tensor] = {}
+        self.iteration = -1
+        self.ops_executed = 0
+        self.poll_misses = 0
+        self._order = graph.topological_order()
+        self._wake: Optional[Event] = None
+        #: per-iteration allocations, reclaimed at the next iteration
+        self._transient: List[Tuple[BaseAllocator, Tensor]] = []
+
+    # -- allocation -----------------------------------------------------------------
+
+    def pick_allocator(self, node_name: str, alloc_index: int) -> BaseAllocator:
+        override = self.allocation_policy(node_name, alloc_index)
+        if override is not None:
+            return override
+        return self.heap
+
+    def allocate_output(self, node: Node, index: int, dtype: DType,
+                        shape: Shape) -> Tensor:
+        """Allocate storage for output ``index`` of ``node``.
+
+        Allocations made during an iteration are transient: their
+        storage is reclaimed when the next iteration starts (mirroring
+        the runtime's per-step tensor lifetime).  Variable storage is
+        allocated before iteration 0 and lives forever.
+        """
+        allocator = self.pick_allocator(node.name, index)
+        tensor = allocator.allocate_tensor(dtype, shape,
+                                           node_name=node.name,
+                                           alloc_index=index)
+        if self.iteration >= 0:
+            self._transient.append((allocator, tensor))
+        return tensor
+
+    # -- variables ---------------------------------------------------------------------
+
+    def initialize_variables(self) -> None:
+        """Allocate persistent variable storage (iteration -1 work)."""
+        for node in self.graph.nodes_of_type("Variable"):
+            shape = node.attrs["shape"]
+            dtype = node.attrs["dtype"]
+            if not shape.is_fully_defined:
+                raise ExecutorError(f"variable {node.name} needs static shape")
+            tensor = self.allocate_output(node, 0, dtype, shape)
+            init = node.attrs.get("initializer")
+            if init is not None and tensor.is_dense:
+                tensor.copy_from(init)
+            self.variables[node.name] = tensor
+
+    # -- iteration driver --------------------------------------------------------------
+
+    def run_iteration(self, feeds: Optional[Dict[str, np.ndarray]] = None
+                      ) -> Generator:
+        """Process: execute every node of the partition once."""
+        self.iteration += 1
+        self.values = {}
+        for allocator, tensor in self._transient:
+            allocator.free_tensor(tensor)
+        self._transient = []
+        feeds = feeds or {}
+        deps = self.graph.dependency_map()
+        pending: Dict[str, int] = {name: len(d) for name, d in deps.items()}
+        dependents: Dict[str, List[str]] = {name: [] for name in pending}
+        for name, dep_names in deps.items():
+            for dep in dep_names:
+                dependents[dep].append(name)
+
+        ready = deque(node for node in self._order if pending[node.name] == 0)
+        in_flight = 0
+        completed = 0
+        total = len(self._order)
+        #: nodes currently in their polling phase: node -> Outcome
+        polling: Dict[str, Outcome] = {}
+        idle_backoff = self.cost.idle_poll_interval
+
+        def finish(node: Node, outputs: List[Tensor]) -> None:
+            nonlocal completed
+            for index, tensor in enumerate(outputs):
+                self.values[(node.name, index)] = tensor
+            completed += 1
+            for dependent in dependents[node.name]:
+                pending[dependent] -= 1
+                if pending[dependent] == 0:
+                    ready.append(self.graph.node(dependent))
+            self._notify()
+
+        while completed < total:
+            if not ready:
+                # Nothing runnable: wait for an async completion.
+                if in_flight == 0:
+                    raise ExecutorError(
+                        f"executor {self.device} stalled at "
+                        f"{completed}/{total} nodes")
+                yield self._wait_for_wake()
+                continue
+            node = ready.popleft()
+            yield self.sim.timeout(self.cost.sched_dispatch)
+
+            if node.name in polling:
+                outcome = polling[node.name]
+                yield self.sim.timeout(self.cost.poll_check)
+                if not outcome.poll():
+                    self.poll_misses += 1
+                    yield self.sim.timeout(self.cost.poll_requeue)
+                    ready.append(node)
+                    if not any(n.name not in polling for n in ready):
+                        # Only pollers left: idle with growing backoff so
+                        # polling does not monopolize the simulated CPU.
+                        yield self._wait_for_wake(timeout=idle_backoff)
+                        idle_backoff = min(idle_backoff * 2, _IDLE_BACKOFF_MAX)
+                    continue
+                idle_backoff = self.cost.idle_poll_interval
+                del polling[node.name]
+                in_flight -= 1
+                next_outcome = outcome.complete()
+            else:
+                next_outcome = yield from self._execute(node, feeds)
+
+            if next_outcome.kind == "sync":
+                self.ops_executed += 1
+                finish(node, next_outcome.outputs or [])
+            elif next_outcome.kind == "async":
+                in_flight += 1
+
+                def on_done(event, node=node) -> None:
+                    nonlocal in_flight
+                    in_flight -= 1
+                    self.ops_executed += 1
+                    finish(node, event.value or [])
+                next_outcome.event.add_callback(on_done)
+            elif next_outcome.kind == "poll":
+                polling[node.name] = next_outcome
+                in_flight += 1
+                ready.append(node)
+            else:  # pragma: no cover - defensive
+                raise ExecutorError(f"bad outcome kind {next_outcome.kind}")
+
+    def _wait_for_wake(self, timeout: Optional[float] = None) -> Event:
+        if self._wake is None or self._wake.triggered:
+            self._wake = self.sim.event()
+        if timeout is None:
+            return self._wake
+        return self.sim.any_of([self._wake, self.sim.timeout(timeout)])
+
+    def _notify(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- op dispatch ------------------------------------------------------------------------
+
+    def _execute(self, node: Node, feeds: Dict[str, np.ndarray]) -> Generator:
+        """Process: run one node; returns an Outcome."""
+        op_type = node.op_type
+        inputs = [self.values[(src.node.name, src.index)]
+                  for src in node.inputs]
+
+        if op_type == "_Send":
+            result = self.comm.execute_send(self, node, inputs[0])
+            if hasattr(result, "send"):
+                # Sends run detached (TensorFlow's inter-op thread pool
+                # would carry them): their internal work — staging
+                # copies, PCIe staging — contends on shared resources
+                # but does not stall this executor's ready queue.
+                return Outcome.wait(self.sim.spawn(
+                    self._detached_send(result),
+                    name=f"send-{node.name}"))
+            return result
+        if op_type == "_Recv":
+            result = self.comm.execute_recv(self, node)
+            if hasattr(result, "send"):
+                result = yield from result
+            return result
+        if op_type == "Variable":
+            yield self.sim.timeout(self.cost.op_overhead)
+            return Outcome.done([self.variables[node.name]])
+        if op_type == "Placeholder":
+            yield self.sim.timeout(self.cost.op_overhead)
+            return Outcome.done([self._feed_tensor(node, feeds)])
+
+        op = get_op(op_type)
+        yield self.sim.timeout(max(op.cost(node, self.cost), 0.0))
+
+        if op_type == "ApplyGradient":
+            return Outcome.done([self._apply_gradient(node, inputs)])
+        if op_type == "SyntheticCompute":
+            outputs = [self.allocate_output(node, i, dtype, shape)
+                       for i, (dtype, shape)
+                       in enumerate(zip(node.output_dtypes, node.output_shapes))]
+            return Outcome.done(outputs)
+
+        return Outcome.done(self._run_compute(node, op, inputs))
+
+    def _detached_send(self, send_generator) -> Generator:
+        """Run a send's process to completion, resolving its outcome."""
+        outcome = yield from send_generator
+        if outcome.kind == "sync":
+            return outcome.outputs or []
+        if outcome.kind == "async":
+            value = yield outcome.event
+            return value or []
+        raise ExecutorError("sends cannot use the polling mode")
+
+    def _feed_tensor(self, node: Node, feeds: Dict[str, np.ndarray]) -> Tensor:
+        if node.name not in feeds:
+            raise ExecutorError(f"no feed for placeholder {node.name!r}")
+        values = np.asarray(feeds[node.name],
+                            dtype=node.output_dtypes[0].np)
+        tensor = self.allocate_output(node, 0, node.output_dtypes[0],
+                                      Shape(values.shape))
+        if tensor.is_dense:
+            tensor.copy_from(values)
+        return tensor
+
+    def _apply_gradient(self, node: Node, inputs: List[Tensor]) -> Tensor:
+        """In-place SGD update: writes through the variable's buffer.
+
+        The output tensor *is* the variable tensor — the in-place
+        buffer-passing behaviour the paper's dynamic tracer exists to
+        handle (§3.4, "decide tensor allocation site").
+        """
+        var_name = node.attrs["variable"]
+        variable = self.variables.get(var_name)
+        if variable is None:
+            raise ExecutorError(f"{node.name}: unknown variable {var_name!r}")
+        gradient = inputs[1]
+        if variable.is_dense and gradient.is_dense:
+            variable.array[...] -= node.attrs["lr"] * gradient.array
+        return variable
+
+    def _run_compute(self, node: Node, op, inputs: List[Tensor]) -> List[Tensor]:
+        dense = all(t.is_dense for t in inputs)
+        if dense and op.compute is not None:
+            arrays = op.compute(node, [t.array for t in inputs])
+            outputs = []
+            for index, array in enumerate(arrays):
+                array = np.asarray(array, dtype=node.output_dtypes[index].np)
+                tensor = self.allocate_output(node, index,
+                                              node.output_dtypes[index],
+                                              Shape(array.shape))
+                if tensor.is_dense:
+                    tensor.copy_from(array)
+                outputs.append(tensor)
+            return outputs
+        # Virtual path: contents are not tracked; partially-unknown
+        # static shapes are resolved from the runtime input shapes.
+        if not all(s.is_fully_defined for s in node.output_shapes):
+            op.infer(node, [t.shape for t in inputs],
+                     [t.dtype for t in inputs])
+        outputs = []
+        for index, (dtype, shape) in enumerate(
+                zip(node.output_dtypes, node.output_shapes)):
+            if not shape.is_fully_defined:
+                raise ExecutorError(
+                    f"{node.name}: could not resolve a concrete shape "
+                    f"for output {index} ({shape})")
+            outputs.append(self.allocate_output(node, index, dtype, shape))
+        return outputs

@@ -1,0 +1,187 @@
+"""Convolutional and regularization operators (real numpy compute).
+
+Extends the operator registry with the layers the paper's CNN
+benchmarks are made of — Conv2D (via im2col), MaxPool2D, AvgPool2D,
+BatchNorm, Dropout, Bias-add over channels — with real numpy forward
+compute, shape inference that handles partially-known batch
+dimensions, and FLOP-based simulated costs.
+
+Layout is NHWC throughout (TensorFlow's default).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .dtypes import DType
+from .node import GraphError, Node
+from .ops import OPS, OpDef, _default_cost, _elements, _flops_cost, _set, register
+from .shapes import Shape
+
+
+def _out_dim(size: Optional[int], kernel: int, stride: int,
+             padding: str) -> Optional[int]:
+    if size is None:
+        return None
+    if padding == "same":
+        return -(-size // stride)
+    if padding == "valid":
+        return (size - kernel) // stride + 1
+    raise GraphError(f"bad padding {padding!r}")
+
+
+def _pad_same(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    _, h, w, _ = x.shape
+    out_h, out_w = -(-h // stride), -(-w // stride)
+    pad_h = max(0, (out_h - 1) * stride + kh - h)
+    pad_w = max(0, (out_w - 1) * stride + kw - w)
+    return np.pad(x, ((0, 0), (pad_h // 2, pad_h - pad_h // 2),
+                      (pad_w // 2, pad_w - pad_w // 2), (0, 0)))
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int,
+            stride: int) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding patches -> (rows, out_h, out_w)."""
+    batch, h, w, channels = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    shape = (batch, out_h, out_w, kh, kw, channels)
+    strides = (x.strides[0], x.strides[1] * stride, x.strides[2] * stride,
+               x.strides[1], x.strides[2], x.strides[3])
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return patches.reshape(batch * out_h * out_w, kh * kw * channels), \
+        out_h, out_w
+
+
+def _conv2d_compute(node: Node, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    x, kernel = inputs
+    stride = node.attrs.get("stride", 1)
+    padding = node.attrs.get("padding", "same")
+    kh, kw, _cin, cout = kernel.shape
+    if padding == "same":
+        x = _pad_same(x, kh, kw, stride)
+    cols, out_h, out_w = _im2col(x, kh, kw, stride)
+    out = cols @ kernel.reshape(-1, cout)
+    return [out.reshape(x.shape[0], out_h, out_w, cout)]
+
+
+@register("Conv2D", compute=_conv2d_compute,
+          cost=lambda node, cm: _flops_cost(
+              2.0 * _elements(node.output_shapes[0])
+              * (node.inputs[1].shape[0] or 1)
+              * (node.inputs[1].shape[1] or 1)
+              * (node.inputs[1].shape[2] or 1), cm))
+def _infer_conv2d(node, in_shapes, in_dtypes):
+    """inputs: (x [B,H,W,Cin], kernel [kh,kw,Cin,Cout]) -> [B,H',W',Cout]."""
+    x, kernel = in_shapes
+    if x.rank != 4 or kernel.rank != 4:
+        raise GraphError("Conv2D needs NHWC input and 4-D kernel")
+    stride = node.attrs.get("stride", 1)
+    padding = node.attrs.get("padding", "same")
+    kh, kw, cin, cout = kernel.dims
+    if cin is not None and x[3] is not None and cin != x[3]:
+        raise GraphError(f"Conv2D channel mismatch: {x} vs {kernel}")
+    _set(node, [Shape([x[0], _out_dim(x[1], kh or 1, stride, padding),
+                       _out_dim(x[2], kw or 1, stride, padding), cout])],
+         [in_dtypes[0]])
+
+
+def _pool_compute(reducer):
+    def compute(node: Node, inputs: List[np.ndarray]) -> List[np.ndarray]:
+        x = inputs[0]
+        k = node.attrs.get("window", 2)
+        stride = node.attrs.get("stride", k)
+        cols, out_h, out_w = _im2col(
+            x.transpose(0, 3, 1, 2).reshape(
+                x.shape[0] * x.shape[3], x.shape[1], x.shape[2], 1),
+            k, k, stride)
+        pooled = reducer(cols.reshape(-1, k * k), axis=1)
+        out = pooled.reshape(x.shape[0], x.shape[3], out_h, out_w)
+        return [out.transpose(0, 2, 3, 1).astype(x.dtype)]
+    return compute
+
+
+def _infer_pool(node, in_shapes, in_dtypes):
+    x = in_shapes[0]
+    if x.rank != 4:
+        raise GraphError("pooling needs NHWC input")
+    k = node.attrs.get("window", 2)
+    stride = node.attrs.get("stride", k)
+    _set(node, [Shape([x[0], _out_dim(x[1], k, stride, "valid"),
+                       _out_dim(x[2], k, stride, "valid"), x[3]])],
+         [in_dtypes[0]])
+
+
+OPS["MaxPool2D"] = OpDef("MaxPool2D", _infer_pool,
+                         _pool_compute(np.max), _default_cost)
+OPS["AvgPool2D"] = OpDef("AvgPool2D", _infer_pool,
+                         _pool_compute(np.mean), _default_cost)
+
+
+def _bias_add_compute(node, inputs):
+    return [inputs[0] + inputs[1]]
+
+
+@register("BiasAdd", compute=_bias_add_compute)
+def _infer_bias_add(node, in_shapes, in_dtypes):
+    """inputs: (x [..., C], bias [C])."""
+    x, bias = in_shapes
+    if bias.rank != 1:
+        raise GraphError("bias must be rank 1")
+    if bias[0] is not None and x[-1] is not None and bias[0] != x[-1]:
+        raise GraphError(f"bias of {bias} cannot add to {x}")
+    _set(node, [x], [in_dtypes[0]])
+
+
+def _batch_norm_compute(node, inputs):
+    x, gamma, beta = inputs
+    axes = tuple(range(x.ndim - 1))
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    eps = node.attrs.get("epsilon", 1e-5)
+    return [((x - mean) / np.sqrt(var + eps) * gamma + beta).astype(x.dtype)]
+
+
+@register("BatchNorm", compute=_batch_norm_compute,
+          cost=lambda node, cm: cm.op_overhead
+          + 6 * _elements(node.output_shapes[0]) / cm.gpu_elementwise)
+def _infer_batch_norm(node, in_shapes, in_dtypes):
+    """inputs: (x [..., C], gamma [C], beta [C])."""
+    _set(node, [in_shapes[0]], [in_dtypes[0]])
+
+
+def _dropout_compute(node, inputs):
+    x = inputs[0]
+    rate = node.attrs.get("rate", 0.5)
+    if not node.attrs.get("training", True):
+        return [x]
+    rng = np.random.default_rng(node.attrs.get("seed", 0))
+    mask = (rng.random(x.shape) >= rate).astype(x.dtype)
+    return [x * mask / max(1.0 - rate, 1e-9)]
+
+
+@register("Dropout", compute=_dropout_compute)
+def _infer_dropout(node, in_shapes, in_dtypes):
+    rate = node.attrs.get("rate", 0.5)
+    if not 0.0 <= rate < 1.0:
+        raise GraphError(f"dropout rate {rate} out of [0, 1)")
+    _set(node, [in_shapes[0]], [in_dtypes[0]])
+
+
+def _flatten_compute(node, inputs):
+    x = inputs[0]
+    return [x.reshape(x.shape[0], -1)]
+
+
+@register("Flatten", compute=_flatten_compute)
+def _infer_flatten(node, in_shapes, in_dtypes):
+    x = in_shapes[0]
+    inner = 1
+    for dim in x.dims[1:]:
+        if dim is None:
+            inner = None
+            break
+        inner *= dim
+    _set(node, [Shape([x[0], inner])], [in_dtypes[0]])

@@ -1,0 +1,137 @@
+"""Graph partitioning: placement-driven split with Send/Recv insertion.
+
+Mirrors TensorFlow's placement pass (paper §2.1, Figure 2): every node
+carries a device tag; the partitioner splits the graph into one
+subgraph per device and replaces each cross-device edge with a
+``_Send`` node on the producer's device and a ``_Recv`` node on the
+consumer's device, linked by a rendezvous key.  These marker nodes are
+later bound to a concrete transfer mechanism (gRPC, RDMA static, RDMA
+dynamic) by the session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .node import Graph, GraphError, Node, NodeOutput
+from .ops import infer_shapes
+
+
+@dataclass(frozen=True)
+class TransferEdge:
+    """One cross-device tensor transfer discovered by partitioning."""
+
+    key: str
+    src_device: str
+    dst_device: str
+    src_node: str          # producer node name (in the source subgraph)
+    send_node: str
+    recv_node: str
+    nbytes_static: Optional[int]   # known iff the shape is static
+    static_shape: bool
+
+
+@dataclass
+class PartitionedGraph:
+    """The result of partitioning: per-device subgraphs plus edges."""
+
+    original: Graph
+    subgraphs: Dict[str, Graph]
+    transfers: List[TransferEdge] = field(default_factory=list)
+
+    @property
+    def devices(self) -> List[str]:
+        return list(self.subgraphs)
+
+    def transfers_into(self, device: str) -> List[TransferEdge]:
+        return [t for t in self.transfers if t.dst_device == device]
+
+    def transfers_out_of(self, device: str) -> List[TransferEdge]:
+        return [t for t in self.transfers if t.src_device == device]
+
+
+def partition(graph: Graph) -> PartitionedGraph:
+    """Split ``graph`` by node.device; insert Send/Recv at cut edges.
+
+    Shape inference must have run (``node.output_shapes`` populated);
+    the inserted ``_Recv`` nodes inherit the producer's inferred shape
+    and its static/dynamic classification — this is how the analyzer's
+    static-shape knowledge reaches the transfer layer.
+    """
+    devices = sorted({node.device or "device0" for node in graph})
+    subgraphs = {device: Graph(f"{graph.name}@{device}") for device in devices}
+    result = PartitionedGraph(original=graph, subgraphs=subgraphs)
+
+    placed: Dict[str, Node] = {}     # original node name -> new node
+    recv_cache: Dict[Tuple[str, int, str], NodeOutput] = {}
+
+    for node in graph.topological_order():
+        device = node.device or "device0"
+        subgraph = subgraphs[device]
+        new_inputs: List[NodeOutput] = []
+        for src in node.inputs:
+            src_device = src.node.device or "device0"
+            if src_device == device:
+                new_inputs.append(placed[src.node.name].output(src.index))
+                continue
+            cache_key = (src.node.name, src.index, device)
+            if cache_key not in recv_cache:
+                recv_cache[cache_key] = _insert_transfer(
+                    result, placed, src, src_device, device)
+            new_inputs.append(recv_cache[cache_key])
+        for ctrl in node.control_inputs:
+            ctrl_device = ctrl.device or "device0"
+            if ctrl_device != device:
+                raise GraphError(
+                    f"cross-device control edge {ctrl.name} -> {node.name} "
+                    "is not supported; add a data dependency instead")
+        new_node = subgraph.add_node(node.name, node.op_type, new_inputs,
+                                     node.attrs, device=device)
+        for ctrl in node.control_inputs:
+            new_node.add_control_input(placed[ctrl.name])
+        new_node.output_shapes = list(node.output_shapes)
+        new_node.output_dtypes = list(node.output_dtypes)
+        new_node.static_shape = node.static_shape
+        placed[node.name] = new_node
+
+    return result
+
+
+def _insert_transfer(result: PartitionedGraph, placed: Dict[str, Node],
+                     src: NodeOutput, src_device: str,
+                     dst_device: str) -> NodeOutput:
+    """Create the _Send/_Recv pair for one cut edge; returns recv output."""
+    src_graph = result.subgraphs[src_device]
+    dst_graph = result.subgraphs[dst_device]
+    key = f"{src.node.name}:{src.index}->{dst_device}"
+
+    producer = placed[src.node.name].output(src.index)
+    send_name = src_graph.unique_name(f"send/{key}")
+    send = src_graph.add_node(send_name, "_Send", [producer],
+                              attrs={"key": key, "dst_device": dst_device},
+                              device=src_device)
+    send.output_shapes, send.output_dtypes = [], []
+    send.static_shape = src.node.static_shape
+
+    recv_name = dst_graph.unique_name(f"recv/{key}")
+    shape = src.node.output_shapes[src.index]
+    dtype = src.node.output_dtypes[src.index]
+    recv = dst_graph.add_node(recv_name, "_Recv", [],
+                              attrs={"key": key, "shape": shape,
+                                     "dtype": dtype,
+                                     "src_device": src_device},
+                              device=dst_device)
+    recv.output_shapes = [shape]
+    recv.output_dtypes = [dtype]
+    recv.static_shape = src.node.static_shape and shape.is_fully_defined
+
+    nbytes = None
+    if shape.is_fully_defined:
+        nbytes = shape.num_elements() * dtype.size
+    result.transfers.append(TransferEdge(
+        key=key, src_device=src_device, dst_device=dst_device,
+        src_node=src.node.name, send_node=send_name, recv_node=recv_name,
+        nbytes_static=nbytes if recv.static_shape else None,
+        static_shape=recv.static_shape))
+    return recv.output(0)

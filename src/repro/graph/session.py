@@ -1,0 +1,137 @@
+"""Session: binds a graph to a simulated cluster and runs iterations.
+
+Mirrors TensorFlow's session (§4): the graph is finalized, partitioned
+by device, each partition gets an executor on its host, the transfer
+mechanism prepares (this is where the RDMA graph analyzer runs), and
+then mini-batch iterations execute until done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..simnet.simulator import SimulationError
+from ..simnet.topology import Cluster, Host
+from .executor import Executor, ExecutorError
+from .node import Graph
+from .partition import PartitionedGraph, partition
+from .tensor import Tensor
+from .transfer_api import CommRuntime, NullComm
+
+
+@dataclass
+class RunStats:
+    """Timing results of a session run."""
+
+    iterations: int
+    iteration_times: List[float] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def mean_iteration_time(self) -> float:
+        if not self.iteration_times:
+            return 0.0
+        return sum(self.iteration_times) / len(self.iteration_times)
+
+    @property
+    def steady_state_time(self) -> float:
+        """Mean iteration time excluding the first (warm-up/tracing)."""
+        tail = self.iteration_times[1:] or self.iteration_times
+        if not tail:
+            return 0.0
+        return sum(tail) / len(tail)
+
+    @property
+    def throughput(self) -> float:
+        """Iterations (mini-batches) per second, steady state."""
+        steady = self.steady_state_time
+        return 1.0 / steady if steady > 0 else float("inf")
+
+
+class Session:
+    """Owns executors for every partition of one (replicated) graph."""
+
+    def __init__(self, cluster: Cluster, graph: Graph,
+                 device_hosts: Dict[str, Host],
+                 comm: Optional[CommRuntime] = None) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.graph = graph
+        self.comm = comm or NullComm()
+        self.partitioned: PartitionedGraph = partition(graph)
+        missing = [d for d in self.partitioned.devices if d not in device_hosts]
+        if missing:
+            raise ExecutorError(f"no host mapping for devices {missing}")
+        self.executors: Dict[str, Executor] = {
+            device: Executor(device_hosts[device],
+                             self.partitioned.subgraphs[device],
+                             device, self.comm)
+            for device in self.partitioned.devices
+        }
+        # Mechanism setup (RDMA analyzer, RPC servers/channels, ...).
+        self.comm.prepare(self)
+        for executor in self.executors.values():
+            executor.initialize_variables()
+
+    # -- running -------------------------------------------------------------------------
+
+    def run(self, iterations: int = 1,
+            feeds: Optional[Dict[str, np.ndarray]] = None,
+            feeds_fn: Optional[Callable[[int], Dict[str, np.ndarray]]] = None,
+            time_limit: float = 3600.0) -> RunStats:
+        """Execute ``iterations`` mini-batches; returns timing stats.
+
+        ``feeds`` are static placeholder feeds; ``feeds_fn(iteration)``
+        produces per-iteration feeds (e.g. fresh mini-batches).
+        """
+        stats = RunStats(iterations=iterations)
+        start_total = self.sim.now
+        for iteration in range(iterations):
+            self.comm.on_iteration_start(self, iteration)
+            iteration_feeds = dict(feeds or {})
+            if feeds_fn is not None:
+                iteration_feeds.update(feeds_fn(iteration))
+            start = self.sim.now
+            procs = [
+                self.sim.spawn(executor.run_iteration(iteration_feeds),
+                               name=f"exec-{device}-it{iteration}")
+                for device, executor in self.executors.items()
+            ]
+            barrier = self.sim.all_of(procs)
+            while not barrier.triggered:
+                if not self.sim._queue:
+                    raise SimulationError(
+                        f"deadlock in iteration {iteration}")
+                if self.sim._queue[0][0] > start_total + time_limit:
+                    raise SimulationError(
+                        f"time limit exceeded in iteration {iteration}")
+                self.sim.step()
+            _ = barrier.value  # surface executor exceptions
+            stats.iteration_times.append(self.sim.now - start)
+        stats.total_time = self.sim.now - start_total
+        return stats
+
+    # -- inspection ------------------------------------------------------------------------
+
+    def value(self, node_name: str, index: int = 0) -> Tensor:
+        """Fetch an output tensor produced in the last iteration."""
+        for executor in self.executors.values():
+            if (node_name, index) in executor.values:
+                return executor.values[(node_name, index)]
+        raise ExecutorError(f"no value recorded for {node_name}:{index}")
+
+    def numpy(self, node_name: str, index: int = 0) -> np.ndarray:
+        """Fetch an output as a numpy array (dense tensors only)."""
+        return self.value(node_name, index).array.copy()
+
+    def variable(self, name: str) -> Tensor:
+        for executor in self.executors.values():
+            if name in executor.variables:
+                return executor.variables[name]
+        raise ExecutorError(f"unknown variable {name!r}")
+
+    def executor_for(self, device: str) -> Executor:
+        return self.executors[device]

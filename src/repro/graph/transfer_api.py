@@ -1,0 +1,90 @@
+"""The contract between the graph executor and transfer mechanisms.
+
+The executor knows nothing about gRPC or RDMA; when it reaches a
+``_Send``/``_Recv`` node it delegates to the session's
+:class:`CommRuntime`.  Implementations live in :mod:`repro.core`
+(the paper's RDMA mechanisms) and :mod:`repro.distributed.rpc_comm`
+(the gRPC baselines).
+
+An op execution returns an :class:`Outcome`:
+
+* ``sync``  — finished; outputs available now;
+* ``async`` — an event will fire with the outputs (gRPC replies,
+  RDMA write completions);
+* ``poll``  — the *polling-async* mode of §4: the executor repeatedly
+  calls ``poll()`` from its ready queue, re-enqueuing itself at the
+  tail on misses, and calls ``complete()`` once the poll succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..simnet.simulator import Event
+from .tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import Executor
+    from .node import Node
+
+
+@dataclass
+class Outcome:
+    """Result of dispatching one operator execution."""
+
+    kind: str                                  # "sync" | "async" | "poll"
+    outputs: Optional[List[Tensor]] = None     # sync
+    event: Optional[Event] = None              # async: fires with outputs
+    poll: Optional[Callable[[], bool]] = None  # poll phase predicate
+    complete: Optional[Callable[[], "Outcome"]] = None  # after poll success
+
+    @classmethod
+    def done(cls, outputs: List[Tensor]) -> "Outcome":
+        return cls(kind="sync", outputs=outputs)
+
+    @classmethod
+    def wait(cls, event: Event) -> "Outcome":
+        return cls(kind="async", event=event)
+
+    @classmethod
+    def polling(cls, poll: Callable[[], bool],
+                complete: Callable[[], "Outcome"]) -> "Outcome":
+        return cls(kind="poll", poll=poll, complete=complete)
+
+
+class CommRuntime:
+    """Per-session transfer mechanism; one instance serves all executors."""
+
+    #: mechanism label used in reports ("gRPC.TCP", "RDMA", ...)
+    name: str = "none"
+
+    def prepare(self, session) -> None:
+        """One-time setup after partitioning, before iteration 0.
+
+        RDMA mechanisms run the graph analyzer here: size and register
+        arenas, preallocate receiver tensors / metadata slots, and
+        distribute remote addresses (§3.4).
+        """
+
+    def on_iteration_start(self, session, iteration: int) -> None:
+        """Hook at the start of every training iteration."""
+
+    def execute_send(self, executor: "Executor", node: "Node",
+                     tensor: Tensor) -> Outcome:
+        raise NotImplementedError
+
+    def execute_recv(self, executor: "Executor", node: "Node") -> Outcome:
+        raise NotImplementedError
+
+
+class NullComm(CommRuntime):
+    """For single-device graphs with no cross-device edges."""
+
+    name = "local"
+
+    def execute_send(self, executor, node, tensor):  # pragma: no cover
+        raise RuntimeError("NullComm cannot transfer tensors")
+
+    def execute_recv(self, executor, node):  # pragma: no cover
+        raise RuntimeError("NullComm cannot transfer tensors")

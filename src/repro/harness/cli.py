@@ -1,0 +1,49 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                 # fast mode (trimmed sweeps)
+    python -m repro.harness --full          # full sweeps (several minutes)
+    python -m repro.harness table2 figure8  # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS, run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="Regenerate the evaluation of 'Fast Distributed Deep "
+                    "Learning over RDMA' (EuroSys '19) on the simulator.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[[], *ALL_EXPERIMENTS][1:] or None,
+                        help="subset to run (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="full sweeps instead of the fast trimmed ones")
+    args = parser.parse_args(argv)
+
+    if args.experiments:
+        selected = {name: ALL_EXPERIMENTS[name] for name in args.experiments}
+        results = {}
+        for name, fn in selected.items():
+            started = time.time()
+            results[name] = fn()
+            print(f"[{name} regenerated in {time.time() - started:.1f}s]",
+                  file=sys.stderr)
+    else:
+        results = run_all(fast=not args.full)
+
+    for result in results.values():
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

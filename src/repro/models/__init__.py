@@ -1,0 +1,11 @@
+"""Benchmark model zoo (Table 2) and convergence applications (§5.2)."""
+
+from .spec import MB, ModelSpec, VariableSpec, calibrate
+from .zoo import (all_models, alexnet, fcn5, get_model, gru, inception_v3,
+                  lstm, model_names, vggnet16)
+
+__all__ = [
+    "MB", "ModelSpec", "VariableSpec", "all_models", "alexnet", "calibrate",
+    "fcn5", "get_model", "gru", "inception_v3", "lstm", "model_names",
+    "vggnet16",
+]

@@ -1,0 +1,124 @@
+"""Benchmark model specifications (paper Table 2).
+
+A :class:`ModelSpec` lists a benchmark's variable tensors (name,
+shape, dtype) and its single-server per-sample computation time.  The
+variable inventory drives everything the evaluation measures: model
+size = bytes moved worker<->PS per mini-batch, tensor-size
+distribution (Figure 7), and compute/communication ratio.
+
+Shapes are realistic per architecture; because the paper reports exact
+totals (e.g. AlexNet 176.42 MB with 16 variables), each spec's largest
+fully-connected weight is auto-adjusted so the total matches the
+paper's model size to within a fraction of a percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..graph.dtypes import DType
+from ..graph.shapes import Shape
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """One trainable tensor of a benchmark model."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = DType.float32
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.dtype.size
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A deep-learning benchmark workload (one Table 2 row)."""
+
+    name: str
+    family: str                       # "CNN" | "RNN" | "FCN"
+    variables: Tuple[VariableSpec, ...]
+    #: average per-sample computation time, single server (Table 2, s)
+    sample_time: float
+    #: mini-batch size beyond which GPU compute time grows linearly;
+    #: below it the GPU's parallelism absorbs the batch (§5.2)
+    batch_saturation: int = 32
+    #: model size the paper reports, for verification (bytes)
+    paper_model_bytes: int = 0
+
+    @property
+    def model_bytes(self) -> int:
+        return sum(v.nbytes for v in self.variables)
+
+    @property
+    def model_mb(self) -> float:
+        return self.model_bytes / MB
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def compute_time(self, batch_size: int) -> float:
+        """Simulated local computation time for one mini-batch.
+
+        Flat up to the saturation batch (massively parallel GPU),
+        then linear — reproducing §5.2's observation that CNN step
+        time is stable at small batches while Inception/LSTM/GRU
+        become compute-dominated past batch 32.
+        """
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        return self.sample_time * max(1.0, batch_size / self.batch_saturation)
+
+    def tensor_sizes(self) -> List[int]:
+        return [v.nbytes for v in self.variables]
+
+
+def _conv(name: str, kh: int, kw: int, cin: int, cout: int,
+          bias: bool = True) -> List[VariableSpec]:
+    out = [VariableSpec(f"{name}/kernel", (kh, kw, cin, cout))]
+    if bias:
+        out.append(VariableSpec(f"{name}/bias", (cout,)))
+    return out
+
+
+def _dense(name: str, fan_in: int, fan_out: int,
+           bias: bool = True) -> List[VariableSpec]:
+    out = [VariableSpec(f"{name}/weight", (fan_in, fan_out))]
+    if bias:
+        out.append(VariableSpec(f"{name}/bias", (fan_out,)))
+    return out
+
+
+def calibrate(variables: Sequence[VariableSpec], target_bytes: int,
+              adjust: str) -> Tuple[VariableSpec, ...]:
+    """Resize variable ``adjust``'s first dimension so totals match.
+
+    Keeps every other tensor untouched, so the size *distribution*
+    stays architectural while the total matches Table 2 exactly enough
+    (within one row of the adjusted matrix).
+    """
+    variables = list(variables)
+    others = sum(v.nbytes for v in variables if v.name != adjust)
+    index = next(i for i, v in enumerate(variables) if v.name == adjust)
+    victim = variables[index]
+    remaining = target_bytes - others
+    if remaining <= 0:
+        raise ValueError(f"target too small to fit {adjust}")
+    row_bytes = victim.nbytes // victim.shape[0]
+    new_first = max(1, round(remaining / row_bytes))
+    variables[index] = VariableSpec(
+        victim.name, (new_first,) + victim.shape[1:], victim.dtype)
+    return tuple(variables)

@@ -1,0 +1,119 @@
+"""A FaRM-style fixed ring buffer for the RPC receive path.
+
+The paper's gRPC.RDMA baseline (and FaRM's messaging primitive, §2.3)
+receives messages into a fixed circular in-library buffer per channel,
+then copies each record out to the application buffer.  This module is
+that circular buffer: variable-size records with a 4-byte length
+prefix, a producer cursor and a consumer cursor, and explicit overflow
+(producers must back off until the consumer frees space).
+
+It stores real bytes so tests can verify exact data recovery across
+wrap-around; virtual payloads are represented by zero-filled spans at
+the transport layer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+
+_LEN = struct.Struct("<I")
+
+
+class RingBufferFull(RuntimeError):
+    """Producer outran the consumer; caller must wait for credits."""
+
+
+class RingBuffer:
+    """Circular byte buffer of variable-length records."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= _LEN.size:
+            raise ValueError("ring capacity too small for even one record")
+        self.capacity = capacity
+        self._data = bytearray(capacity)
+        self._head = 0          # absolute write offset
+        self._tail = 0          # absolute read offset
+        self.records_written = 0
+        self.records_read = 0
+
+    # -- capacity accounting -----------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self._head - self._tail
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def fits(self, record_size: int) -> bool:
+        return _LEN.size + record_size <= self.free
+
+    def max_record_size(self) -> int:
+        """Largest record that could ever fit (even in an empty ring)."""
+        return self.capacity - _LEN.size
+
+    # -- raw circular IO ----------------------------------------------------------
+
+    def _write_at(self, pos: int, data: bytes) -> None:
+        start = pos % self.capacity
+        end = start + len(data)
+        if end <= self.capacity:
+            self._data[start:end] = data
+        else:
+            first = self.capacity - start
+            self._data[start:] = data[:first]
+            self._data[:end - self.capacity] = data[first:]
+
+    def _read_at(self, pos: int, length: int) -> bytes:
+        start = pos % self.capacity
+        end = start + length
+        if end <= self.capacity:
+            return bytes(self._data[start:end])
+        first = self.capacity - start
+        return bytes(self._data[start:]) + bytes(self._data[:end - self.capacity])
+
+    # -- record API ----------------------------------------------------------------
+
+    def push(self, record: bytes) -> None:
+        """Append one record; raises :class:`RingBufferFull` on overflow."""
+        needed = _LEN.size + len(record)
+        if len(record) > self.max_record_size():
+            raise RingBufferFull(
+                f"record of {len(record)} bytes can never fit in a "
+                f"{self.capacity}-byte ring; fragment it first")
+        if needed > self.free:
+            raise RingBufferFull(
+                f"ring full: need {needed}, have {self.free} free")
+        self._write_at(self._head, _LEN.pack(len(record)))
+        self._write_at(self._head + _LEN.size, record)
+        self._head += needed
+        self.records_written += 1
+
+    def pop(self) -> Optional[bytes]:
+        """Remove and return the oldest record, or None if empty."""
+        if self.used == 0:
+            return None
+        (length,) = _LEN.unpack(self._read_at(self._tail, _LEN.size))
+        record = self._read_at(self._tail + _LEN.size, length)
+        self._tail += _LEN.size + length
+        self.records_read += 1
+        return record
+
+    def peek(self) -> Optional[bytes]:
+        """Return the oldest record without consuming it."""
+        if self.used == 0:
+            return None
+        (length,) = _LEN.unpack(self._read_at(self._tail, _LEN.size))
+        return self._read_at(self._tail + _LEN.size, length)
+
+    def drain(self) -> List[bytes]:
+        """Pop every queued record."""
+        out: List[bytes] = []
+        while True:
+            record = self.pop()
+            if record is None:
+                return out
+            out.append(record)

@@ -1,0 +1,176 @@
+"""Timing constants and derived cost functions for the simulated cluster.
+
+Every simulated duration in the reproduction is computed here, so the
+calibration of the whole system lives in one file.  The constants are
+chosen to match the paper's testbed (dual Xeon E5-2690v4, 100 Gbps
+Mellanox MT27700 InfiniBand, Tesla P100) using figures from the paper
+itself and from Kalia et al.'s RDMA design guidelines.
+
+All times are in **seconds**, all sizes in **bytes**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A bundle of hardware timing constants.
+
+    Instances are immutable; use :meth:`scaled` or ``dataclasses.replace``
+    to derive variants for ablation studies.
+    """
+
+    # ---- RDMA fabric (100 Gbps InfiniBand, Mellanox MT27700) ----
+    rdma_bandwidth: float = 100e9 / 8          # bytes/sec on the wire
+    rdma_base_latency: float = 1.0e-6          # one-way propagation + switch
+    rdma_verb_overhead: float = 0.6e-6         # post WQE + NIC processing
+    rdma_completion_overhead: float = 0.3e-6   # CQE generation + poll cost
+    rdma_read_extra_rtt: float = 1.0e-6        # one-sided READ needs a request leg
+
+    # ---- memory registration (page pinning through the kernel) ----
+    mr_register_base: float = 150e-6           # ibv_reg_mr fixed cost
+    mr_register_per_page: float = 1.0e-6       # pinning cost per 4 KiB page
+    mr_page_size: int = 4096
+    mr_table_capacity: int = 1024              # NIC MR table entries (hardware cap)
+
+    # ---- host memory ----
+    memcpy_bandwidth: float = 16e9             # single-thread streaming memcpy
+    memcpy_base: float = 0.2e-6                # call + cache warmup
+    malloc_base: float = 0.5e-6                # allocator fast-path
+    malloc_per_mb: float = 2.0e-6              # page faults on large buffers
+
+    # ---- serialization (protobuf-like encode/decode) ----
+    serialize_bandwidth: float = 4.5e9
+    serialize_base: float = 10e-6              # per-message fixed overhead
+    deserialize_bandwidth: float = 6e9
+    deserialize_base: float = 8e-6
+
+    # ---- TCP/kernel stack (single gRPC stream over the kernel path;
+    # measured gRPC goodput on fast fabrics is ~1-2 GB/s per stream) ----
+    tcp_bandwidth: float = 12e9 / 8
+    tcp_base_latency: float = 15e-6            # kernel->kernel one way
+    tcp_syscall: float = 3.0e-6                # user/kernel crossing
+    tcp_segment_size: int = 64 * KB            # per-sendmsg chunk
+    tcp_per_segment: float = 1.0e-6            # header + interrupt amortized
+
+    # ---- RPC framework ----
+    rpc_dispatch: float = 2.0e-6               # method lookup, future wiring
+    rpc_copy_threads: int = 2                  # communication CPU lanes/host
+    rpc_ring_buffer_size: int = 4 * MB         # in-library receive buffer/channel
+    rpc_max_message_size: int = 1 * GB         # gRPC.RDMA crashes above this
+
+    # ---- scheduler / executor ----
+    sched_dispatch: float = 0.5e-6             # pop + dispatch one op
+    poll_check: float = 0.2e-6                 # one flag-byte check
+    poll_requeue: float = 0.3e-6               # re-enqueue a polling-async op
+    idle_poll_interval: float = 2.0e-6         # backoff when queue is empty
+
+    # ---- GPU (Tesla P100 over PCIe 3.0 x16) ----
+    pcie_bandwidth: float = 10e9               # host<->device staging copy
+    pcie_base: float = 5.0e-6                  # cudaMemcpy launch
+    gpu_kernel_launch: float = 6.0e-6
+
+    # ---- operator compute (effective rates on the P100) ----
+    op_overhead: float = 2.0e-6                # dispatch + launch per op
+    gpu_flops: float = 5e12                    # effective FP32 FLOP/s
+    gpu_elementwise: float = 2e10              # elementwise ops/s
+
+    # -- derived costs ---------------------------------------------------------
+
+    def rdma_wire_time(self, size: int) -> float:
+        """Pure wire time for ``size`` payload bytes over the RDMA link."""
+        return self.rdma_base_latency + size / self.rdma_bandwidth
+
+    def rdma_write_time(self, size: int) -> float:
+        """End-to-end one-sided WRITE: post, wire, remote DMA, CQE."""
+        return (self.rdma_verb_overhead + self.rdma_wire_time(size)
+                + self.rdma_completion_overhead)
+
+    def rdma_read_time(self, size: int) -> float:
+        """One-sided READ: an extra request leg precedes the data flow."""
+        return (self.rdma_verb_overhead + self.rdma_read_extra_rtt
+                + self.rdma_wire_time(size) + self.rdma_completion_overhead)
+
+    def rdma_send_time(self, size: int) -> float:
+        """Two-sided SEND/RECV pair (remote CPU posts the RECV)."""
+        return (self.rdma_verb_overhead + self.rdma_wire_time(size)
+                + 2 * self.rdma_completion_overhead)
+
+    def mr_register_time(self, size: int) -> float:
+        """Register ``size`` bytes with the NIC (pins pages in the kernel)."""
+        pages = max(1, (size + self.mr_page_size - 1) // self.mr_page_size)
+        return self.mr_register_base + pages * self.mr_register_per_page
+
+    def memcpy_time(self, size: int) -> float:
+        return self.memcpy_base + size / self.memcpy_bandwidth
+
+    def malloc_time(self, size: int) -> float:
+        return self.malloc_base + (size / MB) * self.malloc_per_mb
+
+    def serialize_time(self, size: int) -> float:
+        return self.serialize_base + size / self.serialize_bandwidth
+
+    def deserialize_time(self, size: int) -> float:
+        return self.deserialize_base + size / self.deserialize_bandwidth
+
+    def tcp_send_time(self, size: int) -> float:
+        """Kernel-stack transmit cost for ``size`` bytes (sender side).
+
+        Charges one syscall plus per-segment overhead plus a kernel copy
+        of the payload into socket buffers; the wire time itself is
+        charged separately by the link model.
+        """
+        segments = max(1, (size + self.tcp_segment_size - 1) // self.tcp_segment_size)
+        return (self.tcp_syscall + segments * self.tcp_per_segment
+                + self.memcpy_time(size))
+
+    def tcp_wire_time(self, size: int) -> float:
+        return self.tcp_base_latency + size / self.tcp_bandwidth
+
+    def tcp_recv_time(self, size: int) -> float:
+        """Kernel receive path: syscall plus copy out of socket buffers."""
+        return self.tcp_syscall + self.memcpy_time(size)
+
+    def pcie_copy_time(self, size: int) -> float:
+        """Host<->device staging copy over PCIe."""
+        return self.pcie_base + size / self.pcie_bandwidth
+
+    # -- variants ---------------------------------------------------------------
+
+    def scaled(self, **multipliers: float) -> "CostModel":
+        """Return a copy with named fields multiplied (for ablations).
+
+        Example: ``cm.scaled(rdma_bandwidth=0.5)`` halves the RDMA link.
+        """
+        changes = {}
+        for name, factor in multipliers.items():
+            current = getattr(self, name)
+            if isinstance(current, int) and not isinstance(current, bool):
+                changes[name] = int(current * factor)
+            else:
+                changes[name] = current * factor
+        return replace(self, **changes)
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+#: The paper's testbed: 100 Gbps Mellanox MT27700 InfiniBand.
+INFINIBAND_COST_MODEL = DEFAULT_COST_MODEL
+
+#: RoCE v2 on 25 GbE — "our RDMA mechanism can also work with RoCE
+#: network adapters" (§5).  Same verbs semantics, commodity-Ethernet
+#: wire: lower bandwidth, higher latency, slightly costlier verbs
+#: (UDP encapsulation + PFC machinery).
+ROCE_COST_MODEL = CostModel(
+    rdma_bandwidth=25e9 / 8,
+    rdma_base_latency=3.0e-6,
+    rdma_verb_overhead=0.9e-6,
+    rdma_read_extra_rtt=3.0e-6,
+)

@@ -1,0 +1,62 @@
+"""Simulated GPU device memory and GPUDirect RDMA capability.
+
+Models the only GPU property the paper's Table 3 experiment depends
+on: tensors living in device memory must be staged through host memory
+over PCIe before a NIC can touch them — *unless* the GPU and NIC
+support GPUDirect, in which case the NIC reads device memory directly
+and the staging copy disappears (§3.5).
+
+Device memory is carved from the host's address space like any other
+buffer (mirroring CUDA's unified virtual addressing), tagged with the
+owning GPU so transfer paths can tell host from device pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, TYPE_CHECKING
+
+from .costmodel import CostModel
+from .memory import Buffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Host
+
+
+class GpuDevice:
+    """One GPU: device-memory allocation plus PCIe staging costs."""
+
+    def __init__(self, host: "Host", index: int = 0,
+                 gpudirect_capable: bool = True) -> None:
+        self.host = host
+        self.index = index
+        self.gpudirect_capable = gpudirect_capable
+        self.cost: CostModel = host.cost
+        self._device_buffers: Set[int] = set()
+
+    @property
+    def name(self) -> str:
+        return f"{self.host.name}/gpu{self.index}"
+
+    def allocate(self, size: int, label: str = "",
+                 dense: Optional[bool] = None) -> Buffer:
+        """Allocate device memory (appears in the host address space)."""
+        buf = self.host.address_space.allocate(
+            size, label=label or f"gpu{self.index}-mem", dense=dense)
+        self._device_buffers.add(buf.addr)
+        return buf
+
+    def owns(self, buf: Buffer) -> bool:
+        """Whether the buffer lives in this GPU's device memory."""
+        return buf.addr in self._device_buffers
+
+    def staging_copy_time(self, size: int) -> float:
+        """Host<->device copy over PCIe (cudaMemcpy)."""
+        return self.cost.pcie_copy_time(size)
+
+    def kernel_launch_time(self) -> float:
+        return self.cost.gpu_kernel_launch
+
+    def free(self, buf: Buffer) -> None:
+        self._device_buffers.discard(buf.addr)
+        self.host.address_space.free(buf)

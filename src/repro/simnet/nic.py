@@ -1,0 +1,474 @@
+"""The simulated RDMA NIC: queue pairs, completion queues, DMA engine.
+
+Timing model
+------------
+Each NIC port has two :class:`Pipe` objects (egress and ingress), each
+a FIFO bandwidth reservation: a transfer of ``S`` bytes occupies the
+pipe for ``S / bandwidth`` seconds starting no earlier than the pipe's
+previous reservation ends.  A cross-host transfer reserves the sender's
+egress and the receiver's ingress with cut-through overlap, so an
+uncontended transfer costs one serialization delay while fan-in to a
+hot receiver (the parameter-server pattern) queues on its ingress.
+
+Semantics model
+---------------
+One-sided WRITEs commit into the destination address space in
+**ascending address order**, in several chunks spread across the
+transfer window — exactly the property the paper's flag-byte completion
+protocol relies on (§3.2).  A concurrent reader observes a committed
+prefix.  READs pull remote memory with an extra request leg.  SENDs
+require a posted RECV on the destination queue pair and consume it in
+FIFO order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .costmodel import CostModel
+from .memory import Backing, DenseBacking, MemoryRegion, MrTable, MemoryError_
+from .simulator import Event, Simulator
+from .verbs import Completion, Opcode, WcStatus, WorkRequest
+
+
+#: Maximum number of commit chunks per WRITE/READ; bounds event count so
+#: large simulated transfers stay cheap to simulate.
+MAX_COMMIT_CHUNKS = 4
+#: Writes at or below this size commit in a single chunk.
+SINGLE_CHUNK_LIMIT = 4096
+
+
+class Pipe:
+    """One direction of a NIC port: bandwidth reservation with backfill.
+
+    A transfer of ``S`` bytes books ``S / bandwidth`` seconds of pipe
+    time starting no earlier than its data is available.  Bookings may
+    fill idle gaps left by transfers whose data arrives later, so a
+    backed-up flow does not head-of-line-block unrelated traffic (the
+    wire interleaves packets); ordering guarantees within one QP are
+    enforced by the QP itself, not the pipe.
+    """
+
+    def __init__(self, bandwidth: float) -> None:
+        self.bandwidth = bandwidth
+        self.bytes_carried = 0
+        #: sorted, disjoint busy intervals
+        self._busy: List[List[float]] = []
+
+    @property
+    def available_at(self) -> float:
+        """Time at which all booked work is done."""
+        return self._busy[-1][1] if self._busy else 0.0
+
+    def _book(self, earliest: float, duration: float) -> Tuple[float, float]:
+        """Find the first gap of ``duration`` starting >= ``earliest``."""
+        if duration <= 0:
+            return earliest, earliest
+        cursor = earliest
+        index = 0
+        while index < len(self._busy):
+            busy_start, busy_end = self._busy[index]
+            if busy_end <= cursor:
+                index += 1
+                continue
+            if busy_start >= cursor + duration:
+                break  # the gap before this interval fits
+            cursor = max(cursor, busy_end)
+            index += 1
+        slot = (cursor, cursor + duration)
+        interval = [slot[0], slot[1]]
+        self._busy.insert(index, interval)
+        # Coalesce with neighbours to keep the list short.
+        if index + 1 < len(self._busy) and \
+                self._busy[index + 1][0] <= interval[1]:
+            interval[1] = max(interval[1], self._busy[index + 1][1])
+            self._busy.pop(index + 1)
+        if index > 0 and self._busy[index - 1][1] >= interval[0]:
+            self._busy[index - 1][1] = max(self._busy[index - 1][1],
+                                           interval[1])
+            self._busy.pop(index)
+        return slot
+
+    def reserve(self, earliest: float, size: int) -> Tuple[float, float]:
+        """Reserve ``size`` bytes; returns (start, end) times."""
+        duration = size / self.bandwidth
+        start, end = self._book(earliest, duration)
+        self.bytes_carried += size
+        return start, end
+
+    def reserve_after(self, earliest: float, size: int, data_ready: float) -> float:
+        """Reserve capacity that cannot finish before ``data_ready``.
+
+        Used for the receiving pipe of a cut-through transfer: the pipe
+        spends ``size / bandwidth`` of its own capacity starting when
+        the first bit can arrive, but the last byte cannot land before
+        it was sent.
+        """
+        _start, end = self.reserve(earliest, size)
+        return max(end, data_ready)
+
+
+class CompletionQueue:
+    """A completion queue: poll for entries or register a waiter."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sim: Simulator, capacity: int = 4096) -> None:
+        self.sim = sim
+        self.cq_id = next(self._ids)
+        self.capacity = capacity
+        self._entries: Deque[Completion] = deque()
+        self._waiters: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, completion: Completion) -> None:
+        if len(self._entries) >= self.capacity:
+            raise MemoryError_(f"CQ {self.cq_id} overflow (capacity {self.capacity})")
+        self._entries.append(completion)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    def poll(self, max_entries: int = 16) -> List[Completion]:
+        """Drain up to ``max_entries`` completions (non-blocking)."""
+        out: List[Completion] = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def wait(self) -> Event:
+        """Event that fires when the CQ is (or becomes) non-empty."""
+        event = self.sim.event()
+        if self._entries:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+
+class QueuePair:
+    """A reliable-connected queue pair bound to send and receive CQs."""
+
+    _qp_nums = itertools.count(100)
+
+    def __init__(self, nic: "RdmaNic", send_cq: CompletionQueue,
+                 recv_cq: CompletionQueue) -> None:
+        self.nic = nic
+        self.qp_num = next(self._qp_nums)
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.remote: Optional["QueuePair"] = None
+        self._recv_queue: Deque[WorkRequest] = deque()
+        self._pending_sends: Deque = deque()
+        #: per-QP FIFO guarantees (verbs on one QP execute in order)
+        self._egress_free = 0.0
+        self._last_arrival = 0.0
+
+    # -- connection management ---------------------------------------------------
+
+    def connect(self, remote: "QueuePair") -> None:
+        """Pair this QP with its remote counterpart (both directions)."""
+        if self.remote is not None or remote.remote is not None:
+            raise MemoryError_("queue pair already connected")
+        self.remote = remote
+        remote.remote = self
+
+    def _require_remote(self) -> "QueuePair":
+        if self.remote is None:
+            raise MemoryError_(f"QP {self.qp_num} is not connected")
+        return self.remote
+
+    # -- posting -----------------------------------------------------------------
+
+    def post_recv(self, wr: WorkRequest) -> None:
+        """Post a receive buffer for an incoming SEND."""
+        if wr.opcode is not Opcode.RECV:
+            raise ValueError("post_recv requires a RECV work request")
+        self._recv_queue.append(wr)
+        if self._pending_sends:
+            send_wr, data, arrival, head, tail = self._pending_sends.popleft()
+            self._deliver_send(send_wr, data, max(arrival, self.nic.sim.now),
+                               head, tail)
+
+    def post_send(self, wr: WorkRequest) -> None:
+        """Post a WRITE, READ, or SEND; executes asynchronously."""
+        if wr.opcode is Opcode.WRITE:
+            self.nic._execute_write(self, wr)
+        elif wr.opcode is Opcode.READ:
+            self.nic._execute_read(self, wr)
+        elif wr.opcode is Opcode.SEND:
+            self.nic._execute_send(self, wr)
+        else:
+            raise ValueError(f"cannot post {wr.opcode} to the send queue")
+
+    # -- send/recv matching (called by the remote NIC) ----------------------------
+
+    def _incoming_send(self, wr: WorkRequest, data: bytes, arrival: float,
+                       head: bytes = b"", tail: bytes = b"") -> None:
+        if self._recv_queue:
+            self._deliver_send(wr, data, arrival, head, tail)
+        else:
+            # Receiver-not-ready: the message waits for a posted RECV,
+            # modelling RNR retries without failing the connection.
+            self._pending_sends.append((wr, data, arrival, head, tail))
+
+    def _deliver_send(self, send_wr: WorkRequest, data: bytes, arrival: float,
+                      head: bytes = b"", tail: bytes = b"") -> None:
+        recv_wr = self._recv_queue.popleft()
+        sim = self.nic.sim
+        if len(data) > 0 and recv_wr.size < len(data):
+            def fail() -> None:
+                self.recv_cq.push(Completion(
+                    wr_id=recv_wr.wr_id, opcode=Opcode.RECV,
+                    status=WcStatus.LOCAL_LENGTH_ERROR, byte_len=len(data),
+                    qp_num=self.qp_num, timestamp=sim.now))
+            sim.call_at(arrival, fail)
+            return
+        size = len(data) if data else send_wr.size
+
+        def commit() -> None:
+            space = self.nic.host.address_space
+            if data:
+                space.write(recv_wr.local_addr, data)
+            else:
+                buf, off = space.resolve(recv_wr.local_addr, max(size, 1))
+                buf.backing.write_virtual(off, size)
+                # Virtual payload: the real head/tail windows still land,
+                # carrying protocol headers and flags.
+                if head:
+                    buf.backing.write(off, head)
+                if tail:
+                    buf.backing.write(off + size - len(tail), tail)
+            self.recv_cq.push(Completion(
+                wr_id=recv_wr.wr_id, opcode=Opcode.RECV,
+                status=WcStatus.SUCCESS, byte_len=size,
+                qp_num=self.qp_num, timestamp=sim.now))
+        sim.call_at(arrival, commit)
+
+
+class RdmaNic:
+    """A host's RDMA NIC: MR table, CQs, QPs, and the DMA/wire engine."""
+
+    def __init__(self, sim: Simulator, host: "Host", cost: CostModel) -> None:
+        self.sim = sim
+        self.host = host
+        self.cost = cost
+        self.mr_table = MrTable(cost.mr_table_capacity)
+        self.egress = Pipe(cost.rdma_bandwidth)
+        self.ingress = Pipe(cost.rdma_bandwidth)
+        self.registration_time_spent = 0.0
+
+    # -- memory registration -------------------------------------------------------
+
+    def register_memory(self, buf) -> MemoryRegion:
+        """Register a buffer with the NIC (charged via ``register_delay``)."""
+        region = self.mr_table.register(buf)
+        self.registration_time_spent += self.cost.mr_register_time(buf.size)
+        return region
+
+    def register_delay(self, size: int) -> float:
+        """Simulated duration of registering ``size`` bytes."""
+        return self.cost.mr_register_time(size)
+
+    def deregister_memory(self, region: MemoryRegion) -> None:
+        self.mr_table.deregister(region)
+
+    def create_cq(self, capacity: int = 4096) -> CompletionQueue:
+        return CompletionQueue(self.sim, capacity)
+
+    def create_qp(self, send_cq: CompletionQueue,
+                  recv_cq: Optional[CompletionQueue] = None) -> QueuePair:
+        return QueuePair(self, send_cq, recv_cq or send_cq)
+
+    # -- internal verb execution ---------------------------------------------------
+
+    #: bytes at each end of a virtual transfer that still move for real,
+    #: so flag bytes (tail) and metadata headers (head) are preserved.
+    EDGE_WINDOW = 64
+
+    def _local_payload(self, wr: WorkRequest) -> Tuple[Optional[bytes], bytes, bytes]:
+        """Fetch outgoing bytes as (full_payload, head_window, tail_window).
+
+        ``full_payload`` is None for virtual sources, in which case only
+        the head/tail windows carry real content.
+        """
+        if wr.inline_data is not None:
+            return bytes(wr.inline_data), b"", b""
+        region = self.mr_table.lookup(wr.lkey, wr.local_addr, wr.size)
+        buf = region.buffer
+        offset = wr.local_addr - buf.addr
+        if isinstance(buf.backing, DenseBacking):
+            return buf.backing.read(offset, wr.size), b"", b""
+        # Virtual source: move timing, not bytes — except the edges.
+        win = min(self.EDGE_WINDOW, wr.size)
+        head = buf.backing.read(offset, win)
+        tail = buf.backing.read(offset + wr.size - win, win) if wr.size > win else b""
+        return None, head, tail
+
+    @staticmethod
+    def _edge_payload(backing: Backing, offset: int, size: int) -> Tuple[Optional[bytes], bytes, bytes]:
+        """Like :meth:`_local_payload` but for an already-resolved buffer."""
+        if isinstance(backing, DenseBacking):
+            return backing.read(offset, size), b"", b""
+        win = min(RdmaNic.EDGE_WINDOW, size)
+        head = backing.read(offset, win)
+        tail = backing.read(offset + size - win, win) if size > win else b""
+        return None, head, tail
+
+    def _fail(self, qp: QueuePair, wr: WorkRequest, status: WcStatus) -> None:
+        comp = Completion(wr_id=wr.wr_id, opcode=wr.opcode, status=status,
+                          byte_len=0, qp_num=qp.qp_num, timestamp=self.sim.now)
+        self.sim.call_after(self.cost.rdma_verb_overhead, lambda: qp.send_cq.push(comp))
+
+    def _execute_write(self, qp: QueuePair, wr: WorkRequest) -> None:
+        remote_qp = qp._require_remote()
+        remote_nic = remote_qp.nic
+        try:
+            payload, head, tail = self._local_payload(wr)
+            remote_nic.mr_table.lookup(wr.rkey, wr.remote_addr, wr.size)
+            dest_buf, dest_off = remote_nic.host.address_space.resolve(
+                wr.remote_addr, max(wr.size, 1))
+        except MemoryError_:
+            self._fail(qp, wr, WcStatus.REMOTE_ACCESS_ERROR)
+            return
+
+        depart = max(self.sim.now + self.cost.rdma_verb_overhead,
+                     qp._egress_free)
+        start, egress_end = self.egress.reserve(depart, wr.size)
+        qp._egress_free = egress_end
+        data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
+        end = remote_nic.ingress.reserve_after(
+            start + self.cost.rdma_base_latency, wr.size, data_ready)
+        # Per-QP ordering: a later verb never lands before an earlier one.
+        end = max(end, qp._last_arrival)
+        qp._last_arrival = end
+
+        self._schedule_ascending_commit(dest_buf.backing, dest_off, wr.size,
+                                        payload, start, end, head, tail)
+        self._record(Opcode.WRITE, self.host, remote_nic.host, wr.size,
+                     start, end)
+        if wr.signaled:
+            done = end + self.cost.rdma_completion_overhead
+            comp = Completion(wr_id=wr.wr_id, opcode=Opcode.WRITE,
+                              status=WcStatus.SUCCESS, byte_len=wr.size,
+                              qp_num=qp.qp_num, timestamp=done)
+            self.sim.call_at(done, lambda: qp.send_cq.push(comp))
+
+    def _execute_read(self, qp: QueuePair, wr: WorkRequest) -> None:
+        remote_qp = qp._require_remote()
+        remote_nic = remote_qp.nic
+        try:
+            remote_region = remote_nic.mr_table.lookup(wr.rkey, wr.remote_addr, wr.size)
+            local_region = self.mr_table.lookup(wr.lkey, wr.local_addr, wr.size)
+        except MemoryError_:
+            self._fail(qp, wr, WcStatus.REMOTE_ACCESS_ERROR)
+            return
+
+        src_buf = remote_region.buffer
+        src_off = wr.remote_addr - src_buf.addr
+        payload, head, tail = self._edge_payload(src_buf.backing, src_off, wr.size)
+        dest_buf = local_region.buffer
+        dest_off = wr.local_addr - dest_buf.addr
+
+        # Request leg to the remote NIC, then data flows back.
+        request_arrives = (max(self.sim.now + self.cost.rdma_verb_overhead,
+                               qp._egress_free)
+                           + self.cost.rdma_read_extra_rtt)
+        start, _ = remote_nic.egress.reserve(request_arrives, wr.size)
+        data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
+        end = self.ingress.reserve_after(
+            start + self.cost.rdma_base_latency, wr.size, data_ready)
+        end = max(end, qp._last_arrival)
+        qp._last_arrival = end
+
+        self._schedule_ascending_commit(dest_buf.backing, dest_off, wr.size,
+                                        payload, start, end, head, tail)
+        self._record(Opcode.READ, remote_nic.host, self.host, wr.size,
+                     start, end)
+        if wr.signaled:
+            done = end + self.cost.rdma_completion_overhead
+            comp = Completion(wr_id=wr.wr_id, opcode=Opcode.READ,
+                              status=WcStatus.SUCCESS, byte_len=wr.size,
+                              qp_num=qp.qp_num, timestamp=done)
+            self.sim.call_at(done, lambda: qp.send_cq.push(comp))
+
+    def _execute_send(self, qp: QueuePair, wr: WorkRequest) -> None:
+        remote_qp = qp._require_remote()
+        try:
+            payload, head, tail = self._local_payload(wr)
+        except MemoryError_:
+            self._fail(qp, wr, WcStatus.REMOTE_ACCESS_ERROR)
+            return
+        depart = max(self.sim.now + self.cost.rdma_verb_overhead,
+                     qp._egress_free)
+        start, egress_end = self.egress.reserve(depart, wr.size)
+        qp._egress_free = egress_end
+        data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
+        arrival = remote_qp.nic.ingress.reserve_after(
+            start + self.cost.rdma_base_latency, wr.size, data_ready)
+        arrival = max(arrival, qp._last_arrival)
+        qp._last_arrival = arrival
+
+        data = payload if payload is not None else b""
+        size = wr.size
+        self._record(Opcode.SEND, self.host, remote_qp.nic.host, size,
+                     start, arrival)
+        self.sim.call_at(
+            arrival,
+            lambda: remote_qp._incoming_send(wr, data, arrival, head, tail))
+        if wr.signaled:
+            done = arrival + self.cost.rdma_completion_overhead
+            comp = Completion(wr_id=wr.wr_id, opcode=Opcode.SEND,
+                              status=WcStatus.SUCCESS, byte_len=size,
+                              qp_num=qp.qp_num, timestamp=done)
+            self.sim.call_at(done, lambda: qp.send_cq.push(comp))
+
+    def _record(self, opcode: Opcode, src_host, dst_host, size: int,
+                start: float, end: float) -> None:
+        metrics = src_host.cluster.metrics
+        if metrics is not None:
+            metrics.record_transfer(opcode.value, src_host.name,
+                                    dst_host.name, size, start, end)
+
+    def _schedule_ascending_commit(self, backing: Backing, offset: int, size: int,
+                                   payload: Optional[bytes], start: float,
+                                   end: float, head: bytes = b"",
+                                   tail: bytes = b"") -> None:
+        """Commit a transfer into ``backing`` in ascending address order.
+
+        The range is split into chunks whose commit times are spread
+        across (start, end]; the tail chunk (which carries any flag
+        byte) always commits exactly at ``end``.  For virtual payloads,
+        the real ``head``/``tail`` windows are applied with the first
+        and last chunks so protocol headers and flag bytes land.
+        """
+        if size == 0:
+            return
+        if size <= SINGLE_CHUNK_LIMIT:
+            chunk_bounds = [(0, size)]
+        else:
+            n = MAX_COMMIT_CHUNKS
+            step = size // n
+            chunk_bounds = [(i * step, (i + 1) * step if i < n - 1 else size)
+                            for i in range(n)]
+        duration = max(end - start, 0.0)
+        last = len(chunk_bounds) - 1
+        for i, (lo, hi) in enumerate(chunk_bounds):
+            frac = (i + 1) / len(chunk_bounds)
+            when = max(end if i == last else start + frac * duration, self.sim.now)
+
+            def commit(lo: int = lo, hi: int = hi, first: bool = (i == 0),
+                       final: bool = (i == last)) -> None:
+                if payload is not None:
+                    backing.write(offset + lo, payload[lo:hi])
+                else:
+                    backing.write_virtual(offset + lo, hi - lo)
+                    if first and head:
+                        backing.write(offset, head)
+                    if final and tail:
+                        backing.write(offset + size - len(tail), tail)
+            self.sim.call_at(when, commit)

@@ -1,0 +1,98 @@
+"""Cluster topology: hosts, their NICs and TCP stacks, a name service.
+
+A :class:`Cluster` owns the simulator and a set of :class:`Host`
+objects.  Each host has one RDMA NIC and one TCP stack sharing nothing
+(the experiments never mix transports within a run).  Hosts are
+addressed by ``Endpoint`` (host name + port), matching the paper's
+device interface which identifies peers by IP address and port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .cpu import CpuEngine
+from .metrics import MetricsCollector
+from .memory import AddressSpace, Buffer
+from .nic import RdmaNic
+from .simulator import Simulator
+from .tcp import TcpStack
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A network endpoint: host name plus port."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class Host:
+    """A simulated server: address space, RDMA NIC, TCP stack."""
+
+    def __init__(self, cluster: "Cluster", name: str) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.sim = cluster.sim
+        self.cost = cluster.cost
+        self.address_space = AddressSpace(name)
+        self.nic = RdmaNic(self.sim, self, self.cost)
+        self.tcp = TcpStack(self.sim, self, self.cost)
+        #: bounded lanes for per-byte communication CPU work (RPC
+        #: serialization and copies contend here; one-sided RDMA does not)
+        self.cpu = CpuEngine(self.sim, self.cost.rpc_copy_threads)
+
+    def allocate(self, size: int, label: str = "",
+                 dense: Optional[bool] = None) -> Buffer:
+        """Allocate host memory (not yet RDMA-registered)."""
+        return self.address_space.allocate(size, label=label, dense=dense)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r})"
+
+
+class Cluster:
+    """A set of simulated hosts sharing one event loop and cost model."""
+
+    def __init__(self, num_hosts: int, cost: Optional[CostModel] = None,
+                 name_prefix: str = "server") -> None:
+        if num_hosts < 1:
+            raise ValueError("cluster needs at least one host")
+        self.sim = Simulator()
+        self.cost = cost or DEFAULT_COST_MODEL
+        self.hosts: List[Host] = [
+            Host(self, f"{name_prefix}{i}") for i in range(num_hosts)]
+        self._by_name: Dict[str, Host] = {h.name: h for h in self.hosts}
+        #: out-of-band service registry (endpoint -> listener object);
+        #: used for connection setup, never on a measured critical path
+        self.services: Dict[Endpoint, object] = {}
+        #: transfer metrics, off unless :meth:`enable_metrics` is called
+        self.metrics: Optional[MetricsCollector] = None
+
+    def enable_metrics(self) -> MetricsCollector:
+        """Record every wire transfer (see :mod:`repro.simnet.metrics`)."""
+        if self.metrics is None:
+            self.metrics = MetricsCollector()
+        return self.metrics
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self.hosts)
+
+    def host(self, name: str) -> Host:
+        """Resolve a host by name (the simulated name service)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no host named {name!r} in cluster "
+                           f"({sorted(self._by_name)})")
+
+    def resolve(self, endpoint: Endpoint) -> Host:
+        return self.host(endpoint.host)

@@ -1,0 +1,82 @@
+"""Verb-layer datatypes: work requests and completions.
+
+Mirrors the libibverbs surface that the paper's C++ library is built
+on: applications post :class:`WorkRequest` objects to queue pairs and
+harvest :class:`Completion` entries from completion queues.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Opcode(enum.Enum):
+    """RDMA operation types we model (reliable connected transport)."""
+
+    WRITE = "RDMA_WRITE"    # one-sided, no remote CPU
+    READ = "RDMA_READ"      # one-sided, no remote CPU
+    SEND = "SEND"           # two-sided, consumes a posted RECV
+    RECV = "RECV"
+
+
+class WcStatus(enum.Enum):
+    """Completion status codes (subset of ibv_wc_status)."""
+
+    SUCCESS = "IBV_WC_SUCCESS"
+    REMOTE_ACCESS_ERROR = "IBV_WC_REM_ACCESS_ERR"
+    LOCAL_LENGTH_ERROR = "IBV_WC_LOC_LEN_ERR"
+    REMOTE_INVALID_REQUEST = "IBV_WC_REM_INV_REQ_ERR"
+
+
+_wr_ids = itertools.count(1)
+
+
+def next_wr_id() -> int:
+    return next(_wr_ids)
+
+
+@dataclass
+class WorkRequest:
+    """One unit of work posted to a queue pair.
+
+    For WRITE/READ/SEND the local side is ``(local_addr, size)`` inside
+    a registered region identified by ``lkey``.  For WRITE/READ the
+    remote side is ``(remote_addr, rkey)``.  ``inline_data`` (small
+    payloads only) bypasses the local-region read, mirroring
+    IBV_SEND_INLINE.
+    """
+
+    opcode: Opcode
+    size: int = 0
+    local_addr: int = 0
+    lkey: int = 0
+    remote_addr: int = 0
+    rkey: int = 0
+    inline_data: Optional[bytes] = None
+    signaled: bool = True
+    wr_id: int = field(default_factory=next_wr_id)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("work request size must be non-negative")
+        if self.inline_data is not None:
+            self.size = len(self.inline_data)
+
+
+@dataclass
+class Completion:
+    """A completion-queue entry (ibv_wc)."""
+
+    wr_id: int
+    opcode: Opcode
+    status: WcStatus
+    byte_len: int
+    qp_num: int
+    timestamp: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS

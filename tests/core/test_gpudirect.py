@@ -1,0 +1,79 @@
+"""Tests for the GPUDirect RDMA path (§3.5)."""
+
+import pytest
+
+from repro.core import DeviceError, RdmaCommRuntime
+from repro.distributed import run_training_benchmark
+from repro.graph import GraphBuilder, Session
+from repro.models import get_model
+from repro.simnet import Cluster
+
+import numpy as np
+
+
+class TestConfiguration:
+    def test_gdr_requires_gpu(self):
+        with pytest.raises(DeviceError, match="requires gpu"):
+            RdmaCommRuntime(gpudirect=True)
+
+    def test_gdr_forces_dynamic_protocol(self):
+        comm = RdmaCommRuntime(gpu_tensors=True, gpudirect=True)
+        assert comm.force_dynamic
+
+    def test_names(self):
+        assert RdmaCommRuntime(gpu_tensors=True,
+                               gpudirect=True).name == "RDMA+GDR"
+        assert RdmaCommRuntime(gpu_tensors=True).name == "RDMA"
+
+
+class TestStagingCosts:
+    def _run(self, comm):
+        cluster = Cluster(2)
+        b = GraphBuilder()
+        w = b.variable([512, 512], name="w", device="ps0",
+                       initializer=np.zeros((512, 512), dtype=np.float32))
+        b.identity(w, name="out", device="worker0")
+        session = Session(cluster, b.finalize(),
+                          {"ps0": cluster.hosts[0],
+                           "worker0": cluster.hosts[1]}, comm=comm)
+        return session.run(iterations=4).steady_state_time
+
+    def test_gpu_staging_slower_than_host(self):
+        host = self._run(RdmaCommRuntime())
+        gpu = self._run(RdmaCommRuntime(gpu_tensors=True))
+        assert gpu > host
+
+    def test_gdr_removes_staging(self):
+        gpu = self._run(RdmaCommRuntime(gpu_tensors=True))
+        gdr = self._run(RdmaCommRuntime(gpu_tensors=True, gpudirect=True))
+        assert gdr < gpu
+
+    def test_gdr_uses_dynamic_transfers(self):
+        """With GDR, even statically shaped edges go dynamic (§3.5:
+        the metadata stays in host memory so the CPU polls it, while
+        payloads move by one-sided READ from GPU memory)."""
+        cluster = Cluster(2)
+        comm = RdmaCommRuntime(gpu_tensors=True, gpudirect=True)
+        b = GraphBuilder()
+        w = b.variable([64, 64], name="w", device="ps0",
+                       initializer=np.zeros((64, 64), dtype=np.float32))
+        b.identity(w, name="out", device="worker0")
+        session = Session(cluster, b.finalize(),
+                          {"ps0": cluster.hosts[0],
+                           "worker0": cluster.hosts[1]}, comm=comm)
+        session.run(iterations=2)
+        from repro.core.transfer import DynamicReceiver
+        (receiver,) = comm.receivers.values()
+        assert isinstance(receiver, DynamicReceiver)
+        assert receiver.receives == 2
+
+
+class TestTable3Shape:
+    def test_comm_bound_model_gains_from_gdr(self):
+        spec = get_model("FCN-5")
+        gpu = run_training_benchmark(spec, "RDMA.gpu", num_servers=4,
+                                     batch_size=16, iterations=3)
+        gdr = run_training_benchmark(spec, "RDMA+GDR", num_servers=4,
+                                     batch_size=16, iterations=3)
+        assert not gpu.crashed and not gdr.crashed
+        assert gdr.step_time < gpu.step_time

@@ -1,0 +1,92 @@
+"""Tests for model-parallel (pipeline) training."""
+
+import pytest
+
+from repro.core import RdmaCommRuntime
+from repro.distributed.model_parallel import (build_model_parallel_graph,
+                                              split_stages)
+from repro.distributed.rpc_comm import GrpcCommRuntime
+from repro.graph import Session
+from repro.graph.partition import partition
+from repro.models import get_model
+from repro.simnet import Cluster
+
+
+class TestSplitStages:
+    def test_contiguous_and_complete(self):
+        spec = get_model("VGGNet-16")
+        stages = split_stages(spec, 4)
+        flattened = [i for stage in stages for i in stage]
+        assert flattened == list(range(spec.num_variables))
+        assert len(stages) == 4
+
+    def test_single_stage(self):
+        spec = get_model("GRU")
+        assert split_stages(spec, 1) == [list(range(spec.num_variables))]
+
+    def test_byte_balance_bounded(self):
+        spec = get_model("Inception-v3")
+        stages = split_stages(spec, 8)
+        sizes = [sum(spec.variables[i].nbytes for i in stage)
+                 for stage in stages]
+        assert max(sizes) < 3 * (sum(sizes) / len(sizes))
+
+    def test_too_many_stages(self):
+        with pytest.raises(ValueError):
+            split_stages(get_model("FCN-5"), 11)
+
+    def test_zero_stages(self):
+        with pytest.raises(ValueError):
+            split_stages(get_model("FCN-5"), 0)
+
+
+class TestModelParallelGraph:
+    def test_devices_and_edges(self):
+        spec = get_model("FCN-5")
+        job = build_model_parallel_graph(spec, num_stages=4, batch_size=8)
+        assert job.devices == ["stage0", "stage1", "stage2", "stage3"]
+        parts = partition(job.graph)
+        # Forward + backward activation per boundary; variables local.
+        assert len(parts.transfers) == 2 * 3
+        assert all(t.static_shape for t in parts.transfers)
+
+    def test_cross_stage_volume(self):
+        spec = get_model("FCN-5")
+        job = build_model_parallel_graph(spec, num_stages=2, batch_size=8,
+                                         activation_elements_per_sample=1024)
+        parts = partition(job.graph)
+        total = sum(t.nbytes_static for t in parts.transfers)
+        assert total == job.cross_stage_bytes_per_step
+        assert job.activation_bytes == 8 * 1024 * 4
+
+    def test_runs_over_rdma(self):
+        spec = get_model("GRU")
+        job = build_model_parallel_graph(spec, num_stages=2, batch_size=8)
+        cluster = Cluster(2)
+        hosts = {f"stage{i}": cluster.hosts[i] for i in range(2)}
+        session = Session(cluster, job.graph, hosts, comm=RdmaCommRuntime())
+        stats = session.run(iterations=3)
+        assert stats.steady_state_time > 0
+
+    def test_rdma_beats_grpc_for_activations(self):
+        spec = get_model("FCN-5")
+
+        def run(comm):
+            job = build_model_parallel_graph(spec, num_stages=4,
+                                             batch_size=32)
+            cluster = Cluster(4)
+            hosts = {f"stage{i}": cluster.hosts[i] for i in range(4)}
+            session = Session(cluster, job.graph, hosts, comm=comm)
+            return session.run(iterations=3).steady_state_time
+
+        rdma = run(RdmaCommRuntime())
+        grpc = run(GrpcCommRuntime(transport="tcp"))
+        assert rdma < grpc
+
+    def test_weights_never_cross_the_network(self):
+        """Model parallelism moves activations, not parameters."""
+        spec = get_model("FCN-5")
+        job = build_model_parallel_graph(spec, num_stages=2, batch_size=4)
+        parts = partition(job.graph)
+        for transfer in parts.transfers:
+            assert transfer.nbytes_static == job.activation_bytes

@@ -1,0 +1,103 @@
+"""Unit tests for variable placement and graph replication."""
+
+import pytest
+
+from repro.distributed import (build_training_graph, placement_balance,
+                               round_robin_placement)
+from repro.graph.partition import partition
+from repro.models import get_model
+
+
+class TestRoundRobin:
+    def test_every_variable_placed_once(self):
+        spec = get_model("Inception-v3")
+        shards = round_robin_placement(spec, num_ps=8)
+        placed = [v.name for shard in shards.values() for v in shard]
+        assert sorted(placed) == sorted(v.name for v in spec.variables)
+
+    def test_round_robin_order(self):
+        spec = get_model("FCN-5")
+        shards = round_robin_placement(spec, num_ps=2)
+        assert [v.name for v in shards["ps0"]] == \
+            [v.name for i, v in enumerate(spec.variables) if i % 2 == 0]
+
+    def test_single_ps(self):
+        spec = get_model("GRU")
+        shards = round_robin_placement(spec, num_ps=1)
+        assert len(shards["ps0"]) == spec.num_variables
+
+    def test_bad_ps_count(self):
+        with pytest.raises(ValueError):
+            round_robin_placement(get_model("GRU"), num_ps=0)
+
+    def test_balance_metric(self):
+        spec = get_model("VGGNet-16")
+        shards = round_robin_placement(spec, num_ps=8)
+        # VGG's giant fc weight makes round-robin-by-count unbalanced —
+        # the real effect behind its poor scalability (Figure 11).
+        assert placement_balance(shards) > 2.0
+        lstm_shards = round_robin_placement(get_model("LSTM"), num_ps=8)
+        assert placement_balance(lstm_shards) < placement_balance(shards)
+
+
+class TestTrainingGraph:
+    def test_devices(self):
+        job = build_training_graph(get_model("FCN-5"), num_workers=3,
+                                   batch_size=8)
+        assert sorted(job.devices) == ["ps0", "ps1", "ps2",
+                                       "worker0", "worker1", "worker2"]
+
+    def test_bytes_per_step(self):
+        spec = get_model("FCN-5")
+        job = build_training_graph(spec, num_workers=2, batch_size=8)
+        assert job.bytes_per_worker_per_step == 2 * spec.model_bytes
+
+    def test_transfer_volume_matches_model(self):
+        spec = get_model("FCN-5")
+        job = build_training_graph(spec, num_workers=2, batch_size=8)
+        parts = partition(job.graph)
+        total = sum(t.nbytes_static for t in parts.transfers)
+        assert total == 2 * 2 * spec.model_bytes  # 2 workers x 2 directions
+
+    def test_per_layer_stages_exist(self):
+        spec = get_model("FCN-5")
+        job = build_training_graph(spec, num_workers=1, batch_size=8)
+        fwd = [n for n in job.graph if "/fwd/" in n.name]
+        bwd = [n for n in job.graph if "/bwd/" in n.name]
+        assert len(fwd) == spec.num_variables
+        assert len(bwd) == spec.num_variables
+
+    def test_stage_times_sum_to_compute_time(self):
+        spec = get_model("GRU")
+        batch = 16
+        job = build_training_graph(spec, num_workers=1, batch_size=batch)
+        total = sum(n.attrs["time"] for n in job.graph
+                    if n.op_type == "SyntheticCompute")
+        assert total == pytest.approx(spec.compute_time(batch))
+
+    def test_apply_nodes_on_variable_shards(self):
+        spec = get_model("FCN-5")
+        job = build_training_graph(spec, num_workers=2, batch_size=8)
+        for node in job.graph:
+            if node.op_type == "ApplyGradient":
+                variable = job.graph.node(node.attrs["variable"])
+                assert node.device == variable.device
+
+    def test_local_mode_single_device_no_transfers(self):
+        job = build_training_graph(get_model("GRU"), num_workers=1,
+                                   batch_size=8, local=True)
+        assert job.devices == ["local0"]
+        assert partition(job.graph).transfers == []
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            build_training_graph(get_model("GRU"), num_workers=0,
+                                 batch_size=8)
+
+    def test_all_transfer_shapes_static(self):
+        """§5.2: the analyzer statically infers every transmitted shape
+        for these benchmarks, so all edges use static placement."""
+        job = build_training_graph(get_model("LSTM"), num_workers=2,
+                                   batch_size=8)
+        parts = partition(job.graph)
+        assert all(t.static_shape for t in parts.transfers)

@@ -1,0 +1,96 @@
+"""Integration tests for the distributed benchmark runner."""
+
+import pytest
+
+from repro.core import RdmaCommRuntime
+from repro.distributed import (MECHANISMS, make_mechanism,
+                               run_training_benchmark)
+from repro.models import get_model
+from repro.models.convergence import sentence_embedding_spec
+
+
+@pytest.fixture(scope="module")
+def fcn5():
+    return get_model("FCN-5")
+
+
+class TestMechanismFactory:
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_factory_builds_each(self, name):
+        assert make_mechanism(name) is not None
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            make_mechanism("carrier-pigeon")
+
+    def test_labels(self):
+        assert make_mechanism("RDMA").name == "RDMA"
+        assert make_mechanism("RDMA.cp").name == "RDMA.cp"
+        assert make_mechanism("RDMA+GDR").name == "RDMA+GDR"
+        assert make_mechanism("gRPC.TCP").name == "gRPC.TCP"
+
+
+class TestRunner:
+    def test_result_fields(self, fcn5):
+        result = run_training_benchmark(fcn5, "RDMA", num_servers=2,
+                                        batch_size=8, iterations=3)
+        assert not result.crashed
+        assert result.model == "FCN-5"
+        assert result.num_servers == 2
+        assert result.step_time > 0
+        assert result.throughput == pytest.approx(1 / result.step_time)
+        assert result.samples_per_second == pytest.approx(
+            result.throughput * 8 * 2)
+
+    def test_steady_state_excludes_warmup(self, fcn5):
+        result = run_training_benchmark(fcn5, "RDMA", num_servers=2,
+                                        batch_size=8, iterations=4)
+        times = result.stats.iteration_times
+        assert len(times) == 4
+        # Iteration 0 stages (tracing not yet active): slowest.
+        assert times[0] >= max(times[1:])
+
+    def test_local_runs_single_host(self, fcn5):
+        result = run_training_benchmark(fcn5, "Local", num_servers=8,
+                                        batch_size=8, iterations=2)
+        assert not result.crashed
+        assert result.step_time > 0
+
+    def test_mechanism_ranking_end_to_end(self, fcn5):
+        times = {}
+        for mechanism in ("RDMA", "RDMA.cp", "gRPC.RDMA", "gRPC.TCP"):
+            result = run_training_benchmark(fcn5, mechanism, num_servers=2,
+                                            batch_size=8, iterations=3)
+            times[mechanism] = result.step_time
+        assert times["RDMA"] <= times["RDMA.cp"] * 1.01
+        assert times["RDMA.cp"] < times["gRPC.RDMA"] < times["gRPC.TCP"]
+
+    def test_gdr_beats_gpu_staging(self, fcn5):
+        gpu = run_training_benchmark(fcn5, "RDMA.gpu", num_servers=2,
+                                     batch_size=8, iterations=3)
+        gdr = run_training_benchmark(fcn5, "RDMA+GDR", num_servers=2,
+                                     batch_size=8, iterations=3)
+        assert gdr.step_time < gpu.step_time
+
+    def test_se_crashes_grpc_rdma_but_not_others(self):
+        spec = sentence_embedding_spec()
+        crash = run_training_benchmark(spec, "gRPC.RDMA", num_servers=2,
+                                       batch_size=8, iterations=2)
+        assert crash.crashed
+        assert "exceeds the maximum" in crash.crash_reason
+        ok = run_training_benchmark(spec, "RDMA", num_servers=2,
+                                    batch_size=8, iterations=2)
+        assert not ok.crashed
+
+    def test_comm_override_used(self, fcn5):
+        comm = RdmaCommRuntime(force_dynamic=True)
+        result = run_training_benchmark(fcn5, "RDMA(custom)", num_servers=2,
+                                        batch_size=8, iterations=2, comm=comm)
+        assert not result.crashed
+        assert comm.state.bytes_sent > 0
+
+    def test_scaling_servers_increases_aggregate_throughput(self, fcn5):
+        results = {n: run_training_benchmark(fcn5, "RDMA", num_servers=n,
+                                             batch_size=8, iterations=3)
+                   for n in (2, 4)}
+        assert (results[4].throughput * 4) > (results[2].throughput * 2)

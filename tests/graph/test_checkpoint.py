@@ -1,0 +1,138 @@
+"""Tests for variable checkpointing (save/restore)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RdmaCommRuntime
+from repro.graph import DType, GraphBuilder, Session, Shape
+from repro.graph.checkpoint import CheckpointError, restore, save
+from repro.simnet import Cluster
+
+
+def make_session(device_map=None, init_scale=1.0):
+    cluster = Cluster(max(len(set((device_map or {"d": 0}).values())), 1))
+    b = GraphBuilder()
+    devices = device_map or {"d": 0}
+    names = list(devices)
+    rng = np.random.default_rng(7)
+    b.variable([4, 4], name="w1", device=names[0],
+               initializer=init_scale * rng.normal(size=(4, 4)))
+    b.variable([8], name="w2", device=names[-1],
+               initializer=init_scale * rng.normal(size=8))
+    graph = b.finalize()
+    comm = RdmaCommRuntime() if len(set(devices.values())) > 1 else None
+    session = Session(cluster, graph,
+                      {name: cluster.hosts[i]
+                       for name, i in devices.items()},
+                      comm=comm) if comm else Session(
+        cluster, graph, {name: cluster.hosts[i]
+                         for name, i in devices.items()})
+    return session
+
+
+class TestSaveRestore:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        session = make_session()
+        original = session.variable("w1").array.copy()
+        assert save(session, path) == 2
+
+        fresh = make_session(init_scale=0.0)
+        assert not np.array_equal(fresh.variable("w1").array, original)
+        assert restore(fresh, path) == 2
+        np.testing.assert_array_equal(fresh.variable("w1").array, original)
+
+    def test_cross_partitioning_restore(self, tmp_path):
+        """Save from a two-partition session, restore into one device."""
+        path = str(tmp_path / "ckpt.npz")
+        multi = make_session({"ps0": 0, "worker0": 1})
+        save(multi, path)
+        single = make_session(init_scale=0.0)
+        restore(single, path)
+        np.testing.assert_array_equal(
+            single.variable("w2").array,
+            multi.variable("w2").array)
+
+    def test_selective_save(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        session = make_session()
+        assert save(session, path, names=["w2"]) == 1
+        fresh = make_session(init_scale=0.0)
+        with pytest.raises(CheckpointError, match="unknown variable"):
+            save(session, path, names=["nope"])
+        assert restore(fresh, path, strict=True) == 1
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        session = make_session()
+        save(session, path)
+        cluster = Cluster(1)
+        b = GraphBuilder()
+        b.variable([5, 5], name="w1",
+                   initializer=np.zeros((5, 5), dtype=np.float32))
+        b.variable([8], name="w2",
+                   initializer=np.zeros(8, dtype=np.float32))
+        other = Session(cluster, b.finalize(), {"device0": cluster.hosts[0]})
+        with pytest.raises(CheckpointError, match="shape"):
+            restore(other, path)
+
+    def test_unknown_variable_strictness(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        session = make_session()
+        save(session, path)
+        cluster = Cluster(1)
+        b = GraphBuilder()
+        b.variable([4, 4], name="w1",
+                   initializer=np.zeros((4, 4), dtype=np.float32))
+        partial = Session(cluster, b.finalize(),
+                          {"device0": cluster.hosts[0]})
+        with pytest.raises(CheckpointError, match="does not"):
+            restore(partial, path, strict=True)
+        assert restore(partial, path, strict=False) == 1
+
+    def test_virtual_variables_validated_by_shape(self, tmp_path):
+        """Big (virtual) variables round-trip as shape metadata."""
+        path = str(tmp_path / "ckpt.npz")
+        cluster = Cluster(1)
+        b = GraphBuilder()
+        b.variable([4096, 4096], name="big")   # 64 MB -> virtual backing
+        session = Session(cluster, b.finalize(),
+                          {"device0": cluster.hosts[0]})
+        assert save(session, path) == 1
+
+        cluster2 = Cluster(1)
+        b2 = GraphBuilder()
+        b2.variable([4096, 4096], name="big")
+        session2 = Session(cluster2, b2.finalize(),
+                           {"device0": cluster2.hosts[0]})
+        assert restore(session2, path) == 1
+
+    def test_training_then_checkpoint(self, tmp_path):
+        """State saved mid-training resumes exactly."""
+        path = str(tmp_path / "ckpt.npz")
+        cluster = Cluster(1)
+        b = GraphBuilder()
+        w = b.variable([2], name="w",
+                       initializer=np.array([1.0, 2.0], dtype=np.float32))
+        g = b.constant(np.ones(2, dtype=np.float32))
+        b.apply_gradient(w, g, lr=0.25, name="step")
+        session = Session(cluster, b.finalize(),
+                          {"device0": cluster.hosts[0]})
+        session.run(iterations=4)   # w -> [0.0, 1.0]
+        save(session, path)
+
+        resumed = make_resumable()
+        restore(resumed, path)
+        np.testing.assert_allclose(resumed.variable("w").array, [0.0, 1.0])
+        resumed.run(iterations=4)   # continue training
+        np.testing.assert_allclose(resumed.variable("w").array, [-1.0, 0.0])
+
+
+def make_resumable():
+    cluster = Cluster(1)
+    b = GraphBuilder()
+    w = b.variable([2], name="w",
+                   initializer=np.zeros(2, dtype=np.float32))
+    g = b.constant(np.ones(2, dtype=np.float32))
+    b.apply_gradient(w, g, lr=0.25, name="step")
+    return Session(cluster, b.finalize(), {"device0": cluster.hosts[0]})

@@ -1,0 +1,196 @@
+"""Unit tests for the convolutional/regularization operators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, GraphError, Session
+from repro.simnet import Cluster
+
+
+def run_graph(build_fn, feeds):
+    cluster = Cluster(1)
+    b = GraphBuilder()
+    out_name = build_fn(b)
+    graph = b.finalize()
+    devices = {n.device or "device0" for n in graph}
+    session = Session(cluster, graph,
+                      {d: cluster.hosts[0] for d in devices})
+    session.run(feeds=feeds)
+    return session, out_name
+
+
+class TestConv2D:
+    def test_identity_kernel(self):
+        """A 1x1 identity kernel reproduces the input exactly."""
+        def build(b):
+            x = b.placeholder([1, 4, 4, 2], name="x")
+            kernel = b.constant(np.eye(2, dtype=np.float32).reshape(1, 1, 2, 2))
+            return b.conv2d(x, kernel, name="y").node.name
+        x_val = np.random.default_rng(0).normal(
+            size=(1, 4, 4, 2)).astype(np.float32)
+        session, name = run_graph(build, {"x": x_val})
+        np.testing.assert_allclose(session.numpy(name), x_val, rtol=1e-6)
+
+    def test_matches_manual_convolution(self):
+        def build(b):
+            x = b.placeholder([1, 5, 5, 1], name="x")
+            kernel = b.constant(np.ones((3, 3, 1, 1), dtype=np.float32))
+            return b.conv2d(x, kernel, padding="valid", name="y").node.name
+        x_val = np.arange(25, dtype=np.float32).reshape(1, 5, 5, 1)
+        session, name = run_graph(build, {"x": x_val})
+        got = session.numpy(name)[0, :, :, 0]
+        expected = np.array([[np.sum(x_val[0, i:i+3, j:j+3, 0])
+                              for j in range(3)] for i in range(3)])
+        np.testing.assert_allclose(got, expected)
+
+    def test_same_padding_preserves_spatial_dims(self):
+        def build(b):
+            x = b.placeholder([2, 8, 8, 3], name="x")
+            kernel = b.constant(np.zeros((3, 3, 3, 16), dtype=np.float32))
+            return b.conv2d(x, kernel, padding="same", name="y").node.name
+        session, name = run_graph(
+            build, {"x": np.zeros((2, 8, 8, 3), dtype=np.float32)})
+        assert session.numpy(name).shape == (2, 8, 8, 16)
+
+    def test_stride_downsamples(self):
+        b = GraphBuilder()
+        x = b.placeholder([1, 8, 8, 1], name="x")
+        kernel = b.constant(np.zeros((3, 3, 1, 4), dtype=np.float32))
+        y = b.conv2d(x, kernel, stride=2, padding="same")
+        b.finalize()
+        assert y.node.output_shapes[0] == (1, 4, 4, 4)
+
+    def test_channel_mismatch_rejected(self):
+        b = GraphBuilder()
+        x = b.placeholder([1, 4, 4, 3], name="x")
+        kernel = b.constant(np.zeros((3, 3, 2, 8), dtype=np.float32))
+        b.conv2d(x, kernel)
+        with pytest.raises(GraphError, match="channel mismatch"):
+            b.finalize()
+
+    def test_unknown_batch_propagates(self):
+        b = GraphBuilder()
+        x = b.placeholder([None, 8, 8, 3], name="x")
+        kernel = b.constant(np.zeros((3, 3, 3, 8), dtype=np.float32))
+        y = b.conv2d(x, kernel)
+        b.finalize()
+        assert y.node.output_shapes[0] == (None, 8, 8, 8)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        def build(b):
+            x = b.placeholder([1, 4, 4, 1], name="x")
+            return b.max_pool(x, window=2, name="y").node.name
+        x_val = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        session, name = run_graph(build, {"x": x_val})
+        np.testing.assert_allclose(session.numpy(name)[0, :, :, 0],
+                                   [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        def build(b):
+            x = b.placeholder([1, 2, 2, 1], name="x")
+            return b.avg_pool(x, window=2, name="y").node.name
+        x_val = np.array([1, 2, 3, 4], dtype=np.float32).reshape(1, 2, 2, 1)
+        session, name = run_graph(build, {"x": x_val})
+        assert session.numpy(name)[0, 0, 0, 0] == 2.5
+
+    def test_pool_preserves_channels(self):
+        b = GraphBuilder()
+        x = b.placeholder([4, 16, 16, 7], name="x")
+        y = b.max_pool(x, window=2)
+        b.finalize()
+        assert y.node.output_shapes[0] == (4, 8, 8, 7)
+
+
+class TestOtherLayers:
+    def test_bias_add_broadcasts_over_channels(self):
+        def build(b):
+            x = b.placeholder([2, 2, 2, 3], name="x")
+            bias = b.constant(np.array([1, 10, 100], dtype=np.float32))
+            return b.bias_add(x, bias, name="y").node.name
+        x_val = np.zeros((2, 2, 2, 3), dtype=np.float32)
+        session, name = run_graph(build, {"x": x_val})
+        np.testing.assert_allclose(session.numpy(name)[0, 0, 0], [1, 10, 100])
+
+    def test_bias_shape_checked(self):
+        b = GraphBuilder()
+        x = b.placeholder([1, 2, 2, 3], name="x")
+        bias = b.constant(np.zeros(4, dtype=np.float32))
+        b.bias_add(x, bias)
+        with pytest.raises(GraphError):
+            b.finalize()
+
+    def test_batch_norm_normalizes(self):
+        def build(b):
+            x = b.placeholder([8, 4], name="x")
+            gamma = b.constant(np.ones(4, dtype=np.float32))
+            beta = b.constant(np.zeros(4, dtype=np.float32))
+            return b.batch_norm(x, gamma, beta, name="y").node.name
+        rng = np.random.default_rng(0)
+        x_val = rng.normal(5.0, 3.0, size=(8, 4)).astype(np.float32)
+        session, name = run_graph(build, {"x": x_val})
+        out = session.numpy(name)
+        assert abs(out.mean()) < 1e-4
+        assert abs(out.std() - 1.0) < 0.05
+
+    def test_dropout_training_zeroes_and_scales(self):
+        def build(b):
+            x = b.placeholder([1000], name="x")
+            return b.dropout(x, rate=0.4, seed=3, name="y").node.name
+        x_val = np.ones(1000, dtype=np.float32)
+        session, name = run_graph(build, {"x": x_val})
+        out = session.numpy(name)
+        dropped = (out == 0).mean()
+        assert 0.3 < dropped < 0.5
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.6, rtol=1e-5)
+
+    def test_dropout_inference_is_identity(self):
+        def build(b):
+            x = b.placeholder([16], name="x")
+            return b.dropout(x, rate=0.9, training=False,
+                             name="y").node.name
+        x_val = np.arange(16, dtype=np.float32)
+        session, name = run_graph(build, {"x": x_val})
+        np.testing.assert_allclose(session.numpy(name), x_val)
+
+    def test_dropout_rate_validated(self):
+        b = GraphBuilder()
+        x = b.placeholder([4], name="x")
+        b.dropout(x, rate=1.0)
+        with pytest.raises(GraphError):
+            b.finalize()
+
+    def test_flatten(self):
+        b = GraphBuilder()
+        x = b.placeholder([8, 4, 4, 3], name="x")
+        y = b.flatten(x)
+        b.finalize()
+        assert y.node.output_shapes[0] == (8, 48)
+
+
+class TestEndToEndCnn:
+    def test_small_cnn_across_servers(self):
+        """conv -> pool -> flatten -> dense, with the conv weights on a
+        parameter server reached over RDMA."""
+        from repro.core import RdmaCommRuntime
+        cluster = Cluster(2)
+        rng = np.random.default_rng(1)
+        b = GraphBuilder()
+        x = b.placeholder([4, 8, 8, 1], name="x", device="worker0")
+        kernel = b.variable([3, 3, 1, 4], name="k", device="ps0",
+                            initializer=rng.normal(
+                                0, 0.2, (3, 3, 1, 4)).astype(np.float32))
+        conv = b.conv2d(x, kernel, name="conv", device="worker0")
+        act = b.relu(conv, device="worker0")
+        pooled = b.max_pool(act, window=2, device="worker0")
+        flat = b.flatten(pooled, name="flat", device="worker0")
+        session = Session(cluster, b.finalize(),
+                          {"ps0": cluster.hosts[0],
+                           "worker0": cluster.hosts[1]},
+                          comm=RdmaCommRuntime())
+        x_val = rng.normal(size=(4, 8, 8, 1)).astype(np.float32)
+        session.run(feeds={"x": x_val})
+        assert session.numpy("flat").shape == (4, 4 * 4 * 4)
+        assert session.numpy("flat").any()

@@ -1,0 +1,81 @@
+"""Property-based tests for graph partitioning invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import GraphBuilder, partition
+
+
+def build_random_graph(num_nodes, device_choices, edge_seeds):
+    """A random DAG of Identity/Add nodes over random devices."""
+    b = GraphBuilder("prop")
+    outputs = [b.placeholder([4], name="src",
+                             device=device_choices[0])]
+    for i in range(num_nodes):
+        device = device_choices[edge_seeds[i] % len(device_choices)]
+        pick = outputs[edge_seeds[i] % len(outputs)]
+        if edge_seeds[i] % 3 == 0 and len(outputs) >= 2:
+            other = outputs[(edge_seeds[i] // 3) % len(outputs)]
+            node = b.add(pick, other, name=f"n{i}", device=device)
+        else:
+            node = b.identity(pick, name=f"n{i}", device=device)
+        outputs.append(node)
+    return b.finalize()
+
+
+graph_strategy = st.tuples(
+    st.integers(min_value=1, max_value=25),
+    st.integers(min_value=1, max_value=4),
+    st.lists(st.integers(min_value=0, max_value=10 ** 6),
+             min_size=25, max_size=25),
+)
+
+
+class TestPartitionInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(params=graph_strategy)
+    def test_every_node_lands_in_exactly_one_subgraph(self, params):
+        num_nodes, num_devices, seeds = params
+        devices = [f"d{i}" for i in range(num_devices)]
+        graph = build_random_graph(num_nodes, devices, seeds)
+        parts = partition(graph)
+        original = {n.name for n in graph}
+        placed = [n.name for sub in parts.subgraphs.values() for n in sub
+                  if n.op_type not in ("_Send", "_Recv")]
+        assert sorted(placed) == sorted(original)
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=graph_strategy)
+    def test_sends_and_recvs_pair_up(self, params):
+        num_nodes, num_devices, seeds = params
+        devices = [f"d{i}" for i in range(num_devices)]
+        parts = partition(build_random_graph(num_nodes, devices, seeds))
+        sends = {n.attrs["key"] for sub in parts.subgraphs.values()
+                 for n in sub.nodes_of_type("_Send")}
+        recvs = {n.attrs["key"] for sub in parts.subgraphs.values()
+                 for n in sub.nodes_of_type("_Recv")}
+        assert sends == recvs
+        assert len(sends) == len(parts.transfers)
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=graph_strategy)
+    def test_subgraphs_remain_acyclic_and_device_pure(self, params):
+        num_nodes, num_devices, seeds = params
+        devices = [f"d{i}" for i in range(num_devices)]
+        parts = partition(build_random_graph(num_nodes, devices, seeds))
+        for device, sub in parts.subgraphs.items():
+            sub.topological_order()  # raises on cycle
+            for node in sub:
+                assert node.device == device
+                for src in node.inputs:
+                    assert src.node.device == device
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=graph_strategy)
+    def test_transfer_edges_reference_real_nodes(self, params):
+        num_nodes, num_devices, seeds = params
+        devices = [f"d{i}" for i in range(num_devices)]
+        parts = partition(build_random_graph(num_nodes, devices, seeds))
+        for edge in parts.transfers:
+            assert edge.send_node in parts.subgraphs[edge.src_device]
+            assert edge.recv_node in parts.subgraphs[edge.dst_device]
+            assert edge.src_node in parts.subgraphs[edge.src_device]

@@ -1,0 +1,27 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "AlexNet" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table2", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Figure 7" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,65 @@
+"""Unit tests for the convergence applications (§5.2, Figure 10)."""
+
+import pytest
+
+from repro.models.convergence import (
+    APPS, TrainResult, cifar_spec, sentence_embedding_spec, seq2seq_spec,
+    train_cifar, train_sentence_embedding, train_seq2seq)
+
+
+class TestTrainers:
+    def test_seq2seq_perplexity_falls(self):
+        result = train_seq2seq(steps=200)
+        assert result.metric_name == "perplexity"
+        assert result.values[-1] < result.values[0] * 0.2
+
+    def test_seq2seq_reaches_paper_threshold(self):
+        """Paper: Seq2Seq converges to perplexity under 20."""
+        result = train_seq2seq(steps=300)
+        step = result.first_step_reaching(20.0)
+        assert step < 300
+
+    def test_cifar_loss_falls(self):
+        result = train_cifar(steps=200)
+        assert result.values[-1] < result.values[0] * 0.5
+
+    def test_cifar_has_realistic_floor(self):
+        """Label noise keeps the loss from collapsing to zero."""
+        result = train_cifar(steps=400)
+        assert result.values[-1] > 0.05
+
+    def test_se_converges_toward_production_floor(self):
+        """Paper: SE converges to a loss of ~4.5."""
+        result = train_sentence_embedding(steps=400)
+        assert result.values[0] > 4.5
+        assert 4.3 < result.values[-1] < 4.6
+
+    @pytest.mark.parametrize("train", [train_seq2seq, train_cifar,
+                                       train_sentence_embedding])
+    def test_deterministic(self, train):
+        assert train(steps=50).values == train(steps=50).values
+
+    def test_first_step_reaching_when_never(self):
+        result = TrainResult(app="x", metric_name="loss", values=[5.0, 4.0])
+        assert result.first_step_reaching(1.0) == 2
+
+
+class TestCommProfiles:
+    def test_se_has_an_over_1gb_tensor(self):
+        """The tensor that crashes gRPC.RDMA, as TensorFlow did."""
+        spec = sentence_embedding_spec()
+        assert max(v.nbytes for v in spec.variables) > 1 << 30
+
+    def test_seq2seq_is_embedding_heavy(self):
+        spec = seq2seq_spec()
+        embeddings = sum(v.nbytes for v in spec.variables
+                         if "embedding" in v.name)
+        assert embeddings > spec.model_bytes * 0.5
+
+    def test_cifar_is_small(self):
+        assert cifar_spec().model_bytes < 20 * (1 << 20)
+
+    def test_apps_registry_complete(self):
+        assert set(APPS) == {"Seq2Seq", "CIFAR", "SE"}
+        for app in APPS.values():
+            assert callable(app["spec"]) and callable(app["train"])

@@ -1,0 +1,111 @@
+"""Unit tests for the model zoo against Table 2 and Figure 7."""
+
+import numpy as np
+import pytest
+
+from repro.models import MB, ModelSpec, VariableSpec, all_models, calibrate, get_model
+from repro.models.spec import _conv, _dense
+
+
+PAPER = {
+    "AlexNet": (176.42, 16, 7.61e-3),
+    "Inception-v3": (92.90, 196, 68.32e-3),
+    "VGGNet-16": (512.32, 32, 30.92e-3),
+    "LSTM": (35.93, 14, 33.33e-3),
+    "GRU": (27.92, 11, 30.44e-3),
+    "FCN-5": (204.47, 10, 4.88e-3),
+}
+
+
+class TestTable2Fidelity:
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_model_size_matches(self, name):
+        spec = get_model(name)
+        size_mb, _, _ = PAPER[name]
+        assert abs(spec.model_mb - size_mb) / size_mb < 0.005
+
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_variable_count_matches(self, name):
+        assert get_model(name).num_variables == PAPER[name][1]
+
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_sample_time_matches(self, name):
+        assert get_model(name).sample_time == pytest.approx(PAPER[name][2])
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("ResNet-50")
+
+    def test_all_models_returns_six(self):
+        assert len(all_models()) == 6
+
+
+class TestFigure7Distribution:
+    def test_headline_statistics(self):
+        sizes = np.array([s for spec in all_models().values()
+                          for s in spec.tensor_sizes()])
+        assert (sizes > 10 * 1024).mean() > 0.50
+        assert (sizes > MB).mean() >= 0.20
+        assert sizes[sizes > MB].sum() / sizes.sum() > 0.94
+
+    def test_sizes_span_bytes_to_hundreds_of_mb(self):
+        sizes = [s for spec in all_models().values()
+                 for s in spec.tensor_sizes()]
+        assert min(sizes) < 10 * 1024
+        assert max(sizes) > 100 * MB
+
+
+class TestComputeTimeModel:
+    def test_flat_below_saturation(self):
+        spec = get_model("AlexNet")
+        assert spec.compute_time(1) == spec.compute_time(spec.batch_saturation)
+
+    def test_linear_above_saturation(self):
+        spec = get_model("Inception-v3")
+        sat = spec.batch_saturation
+        assert spec.compute_time(4 * sat) == pytest.approx(
+            4 * spec.compute_time(sat))
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            get_model("GRU").compute_time(0)
+
+
+class TestCalibrate:
+    def _vars(self):
+        return _dense("big", 1000, 1000) + _dense("small", 10, 10)
+
+    def test_total_matches_target(self):
+        target = 3 * MB
+        out = calibrate(self._vars(), target, adjust="big/weight")
+        total = sum(v.nbytes for v in out)
+        assert abs(total - target) < 1000 * 4  # within one matrix row
+
+    def test_other_tensors_untouched(self):
+        out = calibrate(self._vars(), 3 * MB, adjust="big/weight")
+        small = next(v for v in out if v.name == "small/weight")
+        assert small.shape == (10, 10)
+
+    def test_impossible_target(self):
+        with pytest.raises(ValueError):
+            calibrate(self._vars(), 100, adjust="big/weight")
+
+
+class TestVariableSpec:
+    def test_nbytes(self):
+        assert VariableSpec("v", (4, 4)).nbytes == 64
+
+    def test_conv_helper(self):
+        kernel, bias = _conv("c", 3, 3, 8, 16)
+        assert kernel.shape == (3, 3, 8, 16)
+        assert bias.shape == (16,)
+
+    def test_conv_without_bias(self):
+        assert len(_conv("c", 1, 1, 1, 1, bias=False)) == 1
+
+    def test_model_spec_properties(self):
+        spec = ModelSpec(name="m", family="FCN",
+                         variables=(VariableSpec("v", (16,)),),
+                         sample_time=1e-3)
+        assert spec.model_bytes == 64
+        assert spec.tensor_sizes() == [64]

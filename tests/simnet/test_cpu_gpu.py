@@ -1,0 +1,92 @@
+"""Unit tests for the CPU copy engine and the simulated GPU."""
+
+import pytest
+
+from repro.simnet import Cluster
+from repro.simnet.cpu import CpuEngine
+from repro.simnet.gpu import GpuDevice
+from repro.simnet.simulator import Simulator
+
+
+class TestCpuEngine:
+    def test_single_task_full_duration(self):
+        sim = Simulator()
+        engine = CpuEngine(sim, lanes=4)
+        assert engine.reserve(1.0) == 1.0
+
+    def test_parallel_up_to_lane_count(self):
+        sim = Simulator()
+        engine = CpuEngine(sim, lanes=2)
+        assert engine.reserve(1.0) == 1.0
+        assert engine.reserve(1.0) == 1.0   # second lane
+        assert engine.reserve(1.0) == 2.0   # queues behind the first
+
+    def test_least_loaded_lane_chosen(self):
+        sim = Simulator()
+        engine = CpuEngine(sim, lanes=2)
+        engine.reserve(3.0)
+        engine.reserve(1.0)
+        # Next work lands on the lane free at t=1.
+        assert engine.reserve(1.0) == 2.0
+
+    def test_run_process_charges_wall_time(self):
+        sim = Simulator()
+        engine = CpuEngine(sim, lanes=1)
+        done = []
+
+        def worker(tag):
+            yield from engine.run(0.5)
+            done.append((tag, sim.now))
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+        sim.run()
+        assert done == [("a", 0.5), ("b", 1.0)]
+
+    def test_zero_duration_free(self):
+        sim = Simulator()
+        engine = CpuEngine(sim, lanes=1)
+        assert engine.reserve(0.0) == sim.now
+        assert engine.busy_seconds == 0.0
+
+    def test_busy_accounting(self):
+        sim = Simulator()
+        engine = CpuEngine(sim, lanes=3)
+        engine.reserve(1.0)
+        engine.reserve(2.0)
+        assert engine.busy_seconds == 3.0
+
+    def test_bad_lane_count(self):
+        with pytest.raises(ValueError):
+            CpuEngine(Simulator(), lanes=0)
+
+
+class TestGpuDevice:
+    @pytest.fixture
+    def host(self):
+        return Cluster(1).hosts[0]
+
+    def test_allocation_tagged_as_device_memory(self, host):
+        gpu = GpuDevice(host, index=0)
+        buf = gpu.allocate(1024)
+        assert gpu.owns(buf)
+        assert not gpu.owns(host.allocate(1024))
+
+    def test_staging_copy_cost(self, host):
+        gpu = GpuDevice(host)
+        small = gpu.staging_copy_time(4 * 1024)
+        large = gpu.staging_copy_time(64 * 1024 * 1024)
+        assert 0 < small < large
+
+    def test_free(self, host):
+        gpu = GpuDevice(host)
+        buf = gpu.allocate(256)
+        gpu.free(buf)
+        assert not gpu.owns(buf)
+
+    def test_name(self, host):
+        assert GpuDevice(host, index=1).name.endswith("/gpu1")
+
+    def test_gpudirect_capability_flag(self, host):
+        assert GpuDevice(host).gpudirect_capable
+        assert not GpuDevice(host, gpudirect_capable=False).gpudirect_capable

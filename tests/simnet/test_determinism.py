@@ -1,0 +1,64 @@
+"""Determinism: identical configurations produce identical results.
+
+The whole reproduction methodology rests on the simulator being a
+pure function of its inputs — no wall-clock, no unseeded randomness —
+so experiments are exactly repeatable and diffs between mechanisms are
+attributable to the mechanisms alone.
+"""
+
+import numpy as np
+
+from repro.distributed import run_training_benchmark
+from repro.graph import GraphBuilder, Session, minimize
+from repro.models import get_model
+from repro.simnet import Cluster
+from repro.workloads import run_microbench
+
+
+class TestDeterminism:
+    def test_microbench_repeatable(self):
+        a = run_microbench("RDMA", 4 << 20, iterations=3)
+        b = run_microbench("RDMA", 4 << 20, iterations=3)
+        assert a.transfer_seconds == b.transfer_seconds
+
+    def test_training_benchmark_repeatable(self):
+        spec = get_model("GRU")
+        a = run_training_benchmark(spec, "gRPC.RDMA", num_servers=2,
+                                   batch_size=8, iterations=3)
+        b = run_training_benchmark(spec, "gRPC.RDMA", num_servers=2,
+                                   batch_size=8, iterations=3)
+        assert a.stats.iteration_times == b.stats.iteration_times
+
+    def test_iteration_times_converge_to_steady_state(self):
+        spec = get_model("FCN-5")
+        result = run_training_benchmark(spec, "RDMA", num_servers=2,
+                                        batch_size=8, iterations=6)
+        steady = result.stats.iteration_times[1:]
+        assert max(steady) - min(steady) < 0.02 * max(steady)
+
+    def test_real_training_bitwise_repeatable(self):
+        def run_once():
+            cluster = Cluster(1)
+            rng = np.random.default_rng(5)
+            b = GraphBuilder()
+            x = b.placeholder([8, 4], name="x")
+            y = b.placeholder([8, 2], name="y")
+            w = b.variable([4, 2], name="w",
+                           initializer=rng.normal(0, 0.2, (4, 2)))
+            loss, _ = b.softmax_cross_entropy(b.matmul(x, w), y,
+                                              name="loss")
+            minimize(b, loss, lr=0.3)
+            session = Session(cluster, b.finalize(),
+                              {"device0": cluster.hosts[0]})
+            feeds = {"x": rng.normal(size=(8, 4)).astype(np.float32),
+                     "y": np.eye(8, 2, dtype=np.float32)}
+            out = []
+            for _ in range(5):
+                session.run(feeds=feeds)
+                out.append(session.numpy("loss").tobytes())
+            return out, cluster.sim.now
+
+        first, t1 = run_once()
+        second, t2 = run_once()
+        assert first == second
+        assert t1 == t2

@@ -1,0 +1,211 @@
+"""Unit tests for simulated host memory and RDMA registration."""
+
+import pytest
+
+from repro.simnet.memory import (
+    AddressSpace, DenseBacking, MemoryError_, MrTable, VirtualBacking)
+
+
+class TestDenseBacking:
+    def test_roundtrip(self):
+        backing = DenseBacking(64)
+        backing.write(10, b"hello")
+        assert backing.read(10, 5) == b"hello"
+
+    def test_initial_zeroes(self):
+        backing = DenseBacking(16)
+        assert backing.read(0, 16) == b"\x00" * 16
+
+    def test_out_of_bounds_read(self):
+        backing = DenseBacking(8)
+        with pytest.raises(MemoryError_):
+            backing.read(4, 8)
+
+    def test_out_of_bounds_write(self):
+        backing = DenseBacking(8)
+        with pytest.raises(MemoryError_):
+            backing.write(6, b"xyz")
+
+    def test_read_byte(self):
+        backing = DenseBacking(4)
+        backing.write(3, b"\x07")
+        assert backing.read_byte(3) == 7
+
+    def test_view_is_zero_copy(self):
+        backing = DenseBacking(32)
+        view = backing.view(8, 4)
+        view[:] = 255
+        assert backing.read(8, 4) == b"\xff\xff\xff\xff"
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            DenseBacking(0)
+
+    def test_write_virtual_leaves_content(self):
+        backing = DenseBacking(16)
+        backing.write(0, b"abcd")
+        backing.write_virtual(0, 4)
+        assert backing.read(0, 4) == b"abcd"
+
+
+class TestVirtualBacking:
+    def test_small_write_kept(self):
+        backing = VirtualBacking(1 << 30)  # 1 GiB costs no real RAM
+        backing.write(100, b"flag")
+        assert backing.read(100, 4) == b"flag"
+
+    def test_unwritten_reads_zero(self):
+        backing = VirtualBacking(1024)
+        assert backing.read(0, 8) == b"\x00" * 8
+
+    def test_large_write_keeps_head_and_tail(self):
+        backing = VirtualBacking(1 << 24)
+        data = bytes(range(256)) * 1024  # 256 KiB > sparse limit
+        backing.write(0, data)
+        assert backing.read(0, 64) == data[:64]
+        assert backing.read(len(data) - 64, 64) == data[-64:]
+
+    def test_large_write_drops_middle(self):
+        backing = VirtualBacking(1 << 24)
+        data = b"\xaa" * (256 * 1024)
+        backing.write(0, data)
+        mid = len(data) // 2
+        assert backing.read(mid, 1) == b"\x00"
+
+    def test_bytes_written_accounting(self):
+        backing = VirtualBacking(1 << 24)
+        backing.write(0, b"x" * 100)
+        backing.write_virtual(1000, 5000)
+        assert backing.bytes_written == 5100
+
+    def test_bounds_checked(self):
+        backing = VirtualBacking(128)
+        with pytest.raises(MemoryError_):
+            backing.write(120, b"too long!")
+
+
+class TestAddressSpace:
+    def test_allocate_and_resolve(self):
+        space = AddressSpace("hostA")
+        buf = space.allocate(256)
+        found, offset = space.resolve(buf.addr + 10, 4)
+        assert found is buf
+        assert offset == 10
+
+    def test_distinct_buffers_do_not_overlap(self):
+        space = AddressSpace("hostA")
+        a = space.allocate(100)
+        b = space.allocate(100)
+        assert a.end <= b.addr or b.end <= a.addr
+
+    def test_hosts_get_disjoint_ranges(self):
+        a = AddressSpace("a").allocate(10)
+        b = AddressSpace("b").allocate(10)
+        assert abs(a.addr - b.addr) >= (1 << 44) - (1 << 20)
+
+    def test_unmapped_access_faults(self):
+        space = AddressSpace("hostA")
+        space.allocate(64)
+        with pytest.raises(MemoryError_):
+            space.resolve(12345, 1)
+
+    def test_resolve_straddling_end_faults(self):
+        space = AddressSpace("hostA")
+        buf = space.allocate(64)
+        with pytest.raises(MemoryError_):
+            space.resolve(buf.addr + 60, 8)
+
+    def test_read_write_via_space(self):
+        space = AddressSpace("hostA")
+        buf = space.allocate(64)
+        space.write(buf.addr + 5, b"data")
+        assert space.read(buf.addr + 5, 4) == b"data"
+
+    def test_free_then_access_faults(self):
+        space = AddressSpace("hostA")
+        buf = space.allocate(64)
+        space.free(buf)
+        with pytest.raises(MemoryError_):
+            space.resolve(buf.addr, 1)
+
+    def test_double_free_raises(self):
+        space = AddressSpace("hostA")
+        buf = space.allocate(64)
+        space.free(buf)
+        with pytest.raises(MemoryError_):
+            space.free(buf)
+
+    def test_dense_flag_controls_backing(self):
+        space = AddressSpace("hostA")
+        small = space.allocate(1024)
+        big = space.allocate(64 * 1024 * 1024)
+        forced = space.allocate(64 * 1024 * 1024, dense=True)
+        assert isinstance(small.backing, DenseBacking)
+        assert isinstance(big.backing, VirtualBacking)
+        assert isinstance(forced.backing, DenseBacking)
+
+    def test_zero_size_allocation_rejected(self):
+        with pytest.raises(MemoryError_):
+            AddressSpace("hostA").allocate(0)
+
+    def test_buffer_read_write_helpers(self):
+        buf = AddressSpace("hostA").allocate(32, label="t")
+        buf.write(b"abc", offset=1)
+        assert buf.read(1, 3) == b"abc"
+        assert buf.read_byte(2) == ord("b")
+        assert buf.label == "t"
+
+
+class TestMrTable:
+    def _buf(self, size=4096):
+        return AddressSpace("h").allocate(size)
+
+    def test_register_returns_keys(self):
+        table = MrTable(capacity=4)
+        region = table.register(self._buf())
+        assert region.lkey == region.rkey
+        assert region.registered
+
+    def test_capacity_enforced(self):
+        table = MrTable(capacity=2)
+        table.register(self._buf())
+        table.register(self._buf())
+        with pytest.raises(MemoryError_, match="MR table exhausted"):
+            table.register(self._buf())
+
+    def test_deregister_frees_slot(self):
+        table = MrTable(capacity=1)
+        region = table.register(self._buf())
+        table.deregister(region)
+        assert not region.registered
+        table.register(self._buf())  # should not raise
+
+    def test_double_deregister_raises(self):
+        table = MrTable(capacity=1)
+        region = table.register(self._buf())
+        table.deregister(region)
+        with pytest.raises(MemoryError_):
+            table.deregister(region)
+
+    def test_lookup_validates_rkey(self):
+        table = MrTable(capacity=4)
+        region = table.register(self._buf())
+        with pytest.raises(MemoryError_, match="invalid rkey"):
+            table.lookup(region.rkey + 1, region.addr, 10)
+
+    def test_lookup_validates_bounds(self):
+        table = MrTable(capacity=4)
+        region = table.register(self._buf(100))
+        with pytest.raises(MemoryError_, match="outside MR"):
+            table.lookup(region.rkey, region.addr + 90, 20)
+
+    def test_lookup_success(self):
+        table = MrTable(capacity=4)
+        region = table.register(self._buf(100))
+        assert table.lookup(region.rkey, region.addr + 10, 50) is region
+
+    def test_len(self):
+        table = MrTable(capacity=8)
+        assert len(table) == 0
+        table.register(self._buf())
+        assert len(table) == 1

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the simulation substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet import Cluster, Opcode, WorkRequest
+from repro.simnet.memory import AddressSpace, DenseBacking, VirtualBacking
+from repro.simnet.nic import Pipe
+from repro.simnet.simulator import Simulator
+
+
+class TestSimulatorProperties:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=1e6,
+                                     allow_nan=False), min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def proc(d):
+            yield sim.timeout(d)
+            fired.append(sim.now)
+
+        for d in delays:
+            sim.spawn(proc(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100,
+                                     allow_nan=False), min_size=1, max_size=20))
+    def test_clock_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def proc(d):
+            yield sim.timeout(d)
+            observed.append(sim.now)
+            yield sim.timeout(d)
+            observed.append(sim.now)
+
+        for d in delays:
+            sim.spawn(proc(d))
+        last = -1.0
+        while sim._queue:
+            sim.step()
+            assert sim.now >= last
+            last = sim.now
+
+
+class TestPipeProperties:
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 30),
+                          min_size=1, max_size=30))
+    def test_reservations_never_overlap(self, sizes):
+        pipe = Pipe(bandwidth=1e9)
+        windows = []
+        for size in sizes:
+            start, end = pipe.reserve(0.0, size)
+            windows.append((start, end))
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert s2 >= e1  # FIFO, no overlap
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 24),
+                          min_size=1, max_size=30))
+    def test_total_time_is_sum_of_serializations(self, sizes):
+        import pytest
+        pipe = Pipe(bandwidth=1e9)
+        for size in sizes:
+            pipe.reserve(0.0, size)
+        assert pipe.available_at * 1e9 == pytest.approx(sum(sizes))
+        assert pipe.bytes_carried == sum(sizes)
+
+
+class TestMemoryProperties:
+    @given(st.data())
+    def test_dense_backing_read_your_writes(self, data):
+        size = data.draw(st.integers(min_value=16, max_value=512))
+        backing = DenseBacking(size)
+        model = bytearray(size)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=10))):
+            off = data.draw(st.integers(min_value=0, max_value=size - 1))
+            content = data.draw(st.binary(min_size=1, max_size=size - off))
+            backing.write(off, content)
+            model[off:off + len(content)] = content
+        assert backing.read(0, size) == bytes(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_virtual_backing_preserves_edges(self, data):
+        size = data.draw(st.integers(min_value=256 * 1024, max_value=1 << 22))
+        backing = VirtualBacking(size)
+        seed = data.draw(st.binary(min_size=64, max_size=256))
+        # Build a payload larger than the sparse limit from a small seed.
+        content = (seed * (130 * 1024 // len(seed) + 1))[:130 * 1024]
+        off = data.draw(st.integers(min_value=0,
+                                    max_value=size - len(content)))
+        backing.write(off, content)
+        assert backing.read(off, 64) == content[:64]
+        assert backing.read(off + len(content) - 64, 64) == content[-64:]
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 20),
+                          min_size=1, max_size=40))
+    def test_allocations_disjoint(self, sizes):
+        space = AddressSpace("prop")
+        buffers = [space.allocate(s) for s in sizes]
+        spans = sorted((b.addr, b.end) for b in buffers)
+        for (a1, e1), (a2, e2) in zip(spans, spans[1:]):
+            assert e1 <= a2
+
+
+class TestWriteCommitProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(size=st.integers(min_value=1, max_value=1 << 20),
+           pattern=st.binary(min_size=1, max_size=64))
+    def test_write_delivers_exact_bytes(self, size, pattern):
+        cluster = Cluster(2)
+        a, b = cluster.hosts
+        cq = a.nic.create_cq()
+        qp_a = a.nic.create_qp(cq)
+        qp_b = b.nic.create_qp(b.nic.create_cq())
+        qp_a.connect(qp_b)
+        src = a.allocate(size, dense=True)
+        dst = b.allocate(size, dense=True)
+        src_mr = a.nic.register_memory(src)
+        dst_mr = b.nic.register_memory(dst)
+        payload = (pattern * (size // len(pattern) + 1))[:size]
+        src.write(payload)
+        qp_a.post_send(WorkRequest(
+            opcode=Opcode.WRITE, size=size, local_addr=src.addr,
+            lkey=src_mr.lkey, remote_addr=dst.addr, rkey=dst_mr.rkey))
+        cluster.sim.run()
+        comps = cq.poll()
+        assert comps[0].ok
+        assert dst.read(0, size) == payload
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_writes=st.integers(min_value=1, max_value=8),
+           size=st.integers(min_value=1 << 12, max_value=1 << 18))
+    def test_completion_order_matches_post_order(self, n_writes, size):
+        cluster = Cluster(2)
+        a, b = cluster.hosts
+        cq = a.nic.create_cq()
+        qp_a = a.nic.create_qp(cq)
+        qp_b = b.nic.create_qp(b.nic.create_cq())
+        qp_a.connect(qp_b)
+        wr_ids = []
+        for _ in range(n_writes):
+            src = a.allocate(size, dense=True)
+            dst = b.allocate(size, dense=True)
+            src_mr = a.nic.register_memory(src)
+            dst_mr = b.nic.register_memory(dst)
+            wr = WorkRequest(
+                opcode=Opcode.WRITE, size=size, local_addr=src.addr,
+                lkey=src_mr.lkey, remote_addr=dst.addr, rkey=dst_mr.rkey)
+            wr_ids.append(wr.wr_id)
+            qp_a.post_send(wr)
+        cluster.sim.run()
+        comps = cq.poll(max_entries=64)
+        assert [c.wr_id for c in comps] == wr_ids

@@ -1,0 +1,440 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simnet.simulator import (
+    AllOf, AnyOf, Event, Interrupt, Resource, SimulationError, Simulator,
+    Store, Timeout)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        done = []
+
+        def proc():
+            yield sim.timeout(1.5)
+            done.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert done == [1.5]
+
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.spawn(proc(3.0, "c"))
+        sim.spawn(proc(1.0, "a"))
+        sim.spawn(proc(2.0, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_timestamps_fifo(self, sim):
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.spawn(proc(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_zero_delay_timeout_runs_at_same_time(self, sim):
+        times = []
+
+        def proc():
+            yield sim.timeout(0)
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times == [0.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_run_until_stops_clock_at_until(self, sim):
+        def proc():
+            yield sim.timeout(10)
+
+        sim.spawn(proc())
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_timeout_carries_value(self, sim):
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1, value="payload")
+            got.append(value)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == ["payload"]
+
+
+class TestEvents:
+    def test_event_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_succeed_wakes_waiter_with_value(self, sim):
+        event = sim.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append((sim.now, value))
+
+        def trigger():
+            yield sim.timeout(2)
+            event.succeed(42)
+
+        sim.spawn(waiter())
+        sim.spawn(trigger())
+        sim.run()
+        assert got == [(2.0, 42)]
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_throws_into_waiter(self, sim):
+        event = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(waiter())
+        sim.call_after(1, lambda: event.fail(ValueError("boom")))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_fail_requires_exception_instance(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_callback_after_processed_still_fires(self, sim):
+        event = sim.event()
+        event.succeed(7)
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [7]
+
+    def test_yield_already_triggered_event(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        got = []
+
+        def proc():
+            value = yield event
+            got.append((sim.now, value))
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == [(0.0, "x")]
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def child():
+            yield sim.timeout(1)
+            return "result"
+
+        def parent(results):
+            value = yield sim.spawn(child())
+            results.append(value)
+
+        results = []
+        sim.spawn(parent(results))
+        sim.run()
+        assert results == ["result"]
+
+    def test_yield_from_composes(self, sim):
+        def inner():
+            yield sim.timeout(1)
+            return 10
+
+        def outer(out):
+            value = yield from inner()
+            yield sim.timeout(1)
+            out.append((sim.now, value))
+
+        out = []
+        sim.spawn(outer(out))
+        sim.run()
+        assert out == [(2.0, 10)]
+
+    def test_yield_non_event_fails_process(self, sim):
+        def bad():
+            yield 42
+
+        proc = sim.spawn(bad())
+        sim.run()
+        assert proc.triggered
+        with pytest.raises(SimulationError):
+            _ = proc.value
+
+    def test_exception_in_process_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise RuntimeError("child died")
+
+        caught = []
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(parent())
+        sim.run()
+        assert caught == ["child died"]
+
+    def test_interrupt_reaches_process(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as inter:
+                log.append((sim.now, inter.cause))
+
+        proc = sim.spawn(sleeper())
+        sim.call_after(1, lambda: proc.interrupt("wake"))
+        sim.run()
+        assert log == [(1.0, "wake")]
+
+    def test_is_alive(self, sim):
+        def proc():
+            yield sim.timeout(5)
+
+        p = sim.spawn(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_run_until_complete_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(3)
+            return 99
+
+        p = sim.spawn(proc())
+        assert sim.run_until_complete(p) == 99
+        assert sim.now == 3.0
+
+    def test_run_until_complete_detects_deadlock(self, sim):
+        event = sim.event()  # nobody will trigger this
+
+        def proc():
+            yield event
+
+        p = sim.spawn(proc())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(p)
+
+    def test_spawn_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.spawn(lambda: None)
+
+
+class TestCombinators:
+    def test_all_of_waits_for_all(self, sim):
+        def child(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        got = []
+
+        def parent():
+            values = yield sim.all_of([sim.spawn(child(d)) for d in (3, 1, 2)])
+            got.append((sim.now, values))
+
+        sim.spawn(parent())
+        sim.run()
+        assert got == [(3.0, [3, 1, 2])]
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        got = []
+
+        def parent():
+            values = yield sim.all_of([])
+            got.append((sim.now, values))
+
+        sim.spawn(parent())
+        sim.run()
+        assert got == [(0.0, [])]
+
+    def test_any_of_fires_on_first(self, sim):
+        got = []
+
+        def parent():
+            value = yield sim.any_of([sim.timeout(5, value="slow"),
+                                      sim.timeout(1, value="fast")])
+            got.append((sim.now, value))
+
+        sim.spawn(parent())
+        sim.run()
+        assert got == [(1.0, "fast")]
+
+    def test_any_of_requires_events(self, sim):
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestResource:
+    def test_serializes_access(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(tag):
+            req = res.request()
+            yield req
+            log.append(("start", tag, sim.now))
+            yield sim.timeout(2)
+            res.release(req)
+            log.append(("end", tag, sim.now))
+
+        sim.spawn(user("a"))
+        sim.spawn(user("b"))
+        sim.run()
+        assert log == [("start", "a", 0.0), ("end", "a", 2.0),
+                       ("start", "b", 2.0), ("end", "b", 4.0)]
+
+    def test_capacity_two_overlaps(self, sim):
+        res = Resource(sim, capacity=2)
+        starts = []
+
+        def user():
+            req = res.request()
+            yield req
+            starts.append(sim.now)
+            yield sim.timeout(1)
+            res.release(req)
+
+        for _ in range(3):
+            sim.spawn(user())
+        sim.run()
+        assert starts == [0.0, 0.0, 1.0]
+
+    def test_release_without_grant_raises(self, sim):
+        res = Resource(sim)
+        granted = res.request()
+        res.release(granted)
+        with pytest.raises(SimulationError):
+            res.release(granted)
+
+    def test_bad_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_queue_length(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        res.request()
+        assert res.queue_length == 1
+        assert res.in_use == 1
+        res.release(first)
+        assert res.queue_length == 0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        got = []
+
+        def proc():
+            item = yield store.get()
+            got.append(item)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(4)
+            store.put("late")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def proc():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_len(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestCallbacks:
+    def test_call_at_and_after(self, sim):
+        times = []
+        sim.call_at(2.0, lambda: times.append(sim.now))
+        sim.call_after(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_call_in_past_rejected(self, sim):
+        def proc():
+            yield sim.timeout(5)
+            with pytest.raises(SimulationError):
+                sim.call_at(1.0, lambda: None)
+
+        sim.spawn(proc())
+        sim.run()
+
+    def test_event_count_increases(self, sim):
+        sim.call_after(1, lambda: None)
+        sim.run()
+        assert sim.event_count >= 1

@@ -1,0 +1,213 @@
+"""Unit tests for the simulated TCP stack."""
+
+import pytest
+
+from repro.simnet import Cluster, Endpoint, TcpError, TcpMessage
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(2)
+
+
+def connect_pair(cluster, port=5000):
+    """Returns (client_socket, server_socket) between host 0 and 1."""
+    a, b = cluster.hosts
+    listener = b.tcp.listen(port)
+    client = a.tcp.connect(Endpoint(b.name, port))
+    server_holder = []
+
+    def accept():
+        sock = yield listener.accept()
+        server_holder.append(sock)
+
+    proc = cluster.sim.spawn(accept())
+    cluster.sim.run_until_complete(proc)
+    return client, server_holder[0]
+
+
+class TestConnect:
+    def test_connect_and_accept(self, cluster):
+        client, server = connect_pair(cluster)
+        assert client.peer is server
+        assert server.peer is client
+
+    def test_connection_refused(self, cluster):
+        a, b = cluster.hosts
+        with pytest.raises(TcpError, match="refused"):
+            a.tcp.connect(Endpoint(b.name, 9999))
+
+    def test_duplicate_listen_rejected(self, cluster):
+        b = cluster.hosts[1]
+        b.tcp.listen(7000)
+        with pytest.raises(TcpError):
+            b.tcp.listen(7000)
+
+    def test_unknown_host(self, cluster):
+        a = cluster.hosts[0]
+        with pytest.raises(KeyError):
+            a.tcp.connect(Endpoint("nonexistent", 1))
+
+
+class TestSendRecv:
+    def test_message_roundtrip(self, cluster):
+        client, server = connect_pair(cluster)
+        got = []
+
+        def sender():
+            yield from client.send(TcpMessage(size=5, data=b"hello"))
+
+        def receiver():
+            msg = yield from server.recv()
+            got.append((cluster.sim.now, msg.data))
+
+        cluster.sim.spawn(sender())
+        proc = cluster.sim.spawn(receiver())
+        cluster.sim.run_until_complete(proc)
+        assert got[0][1] == b"hello"
+        assert got[0][0] > 0
+
+    def test_fifo_per_connection(self, cluster):
+        client, server = connect_pair(cluster)
+        got = []
+
+        def sender():
+            for i in range(5):
+                yield from client.send(TcpMessage(size=1, data=bytes([i])))
+
+        def receiver():
+            for _ in range(5):
+                msg = yield from server.recv()
+                got.append(msg.data[0])
+
+        cluster.sim.spawn(sender())
+        proc = cluster.sim.spawn(receiver())
+        cluster.sim.run_until_complete(proc)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_virtual_message_carries_size_only(self, cluster):
+        client, server = connect_pair(cluster)
+        got = []
+
+        def sender():
+            yield from client.send(TcpMessage(size=100 * 1024 * 1024))
+
+        def receiver():
+            msg = yield from server.recv()
+            got.append(msg)
+
+        cluster.sim.spawn(sender())
+        proc = cluster.sim.spawn(receiver())
+        cluster.sim.run_until_complete(proc)
+        assert got[0].size == 100 * 1024 * 1024
+        assert got[0].data is None
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TcpMessage(size=3, data=b"four")
+
+    def test_send_on_closed_raises(self, cluster):
+        client, server = connect_pair(cluster)
+        client.close()
+        with pytest.raises(TcpError):
+            # send is a generator; the error surfaces on first step
+            next(server.send(TcpMessage(size=1, data=b"x")))
+
+    def test_bidirectional(self, cluster):
+        client, server = connect_pair(cluster)
+        got = []
+
+        def side_a():
+            yield from client.send(TcpMessage(size=4, data=b"ping"))
+            msg = yield from client.recv()
+            got.append(msg.data)
+
+        def side_b():
+            msg = yield from server.recv()
+            yield from server.send(TcpMessage(size=4, data=msg.data[::-1]))
+
+        cluster.sim.spawn(side_b())
+        proc = cluster.sim.spawn(side_a())
+        cluster.sim.run_until_complete(proc)
+        assert got == [b"gnip"]
+
+
+class TestTcpTiming:
+    def _transfer_time(self, cluster, size, loopback=False):
+        if loopback:
+            host = cluster.hosts[0]
+            listener = host.tcp.listen(6001)
+            client = host.tcp.connect(Endpoint(host.name, 6001))
+            holder = []
+
+            def accept():
+                sock = yield listener.accept()
+                holder.append(sock)
+
+            cluster.sim.run_until_complete(cluster.sim.spawn(accept()))
+            server = holder[0]
+        else:
+            client, server = connect_pair(cluster, port=6000 + size % 100)
+        done = []
+
+        def sender():
+            yield from client.send(TcpMessage(size=size))
+
+        def receiver():
+            yield from server.recv()
+            done.append(cluster.sim.now)
+
+        start = cluster.sim.now
+        cluster.sim.spawn(sender())
+        proc = cluster.sim.spawn(receiver())
+        cluster.sim.run_until_complete(proc)
+        return done[0] - start
+
+    def test_tcp_slower_than_rdma_for_large_messages(self, cluster):
+        size = 16 * 1024 * 1024
+        tcp_time = self._transfer_time(cluster, size)
+        rdma_time = cluster.cost.rdma_write_time(size)
+        assert tcp_time > 2 * rdma_time
+
+    def test_time_scales_with_size(self, cluster):
+        small = self._transfer_time(cluster, 64 * 1024)
+        cluster2 = Cluster(2)
+        large = TestTcpTiming._transfer_time(self, cluster2, 16 * 1024 * 1024)
+        assert large > 10 * small
+
+    def test_loopback_skips_wire(self):
+        cluster_remote = Cluster(2)
+        remote = self._transfer_time(cluster_remote, 1024 * 1024)
+        cluster_local = Cluster(1)
+        local = self._transfer_time(cluster_local, 1024 * 1024, loopback=True)
+        assert local < remote
+
+
+class TestPipes:
+    def test_tcp_fan_in_contention(self):
+        cluster = Cluster(3)
+        receiver = cluster.hosts[0]
+        listener = receiver.tcp.listen(8000)
+        size = 16 * 1024 * 1024
+        finishes = []
+
+        def server():
+            for _ in range(2):
+                sock = yield listener.accept()
+                cluster.sim.spawn(serve_one(sock))
+
+        def serve_one(sock):
+            yield from sock.recv()
+            finishes.append(cluster.sim.now)
+
+        def client(host):
+            sock = host.tcp.connect(Endpoint(receiver.name, 8000))
+            yield from sock.send(TcpMessage(size=size))
+
+        cluster.sim.spawn(server())
+        for host in cluster.hosts[1:]:
+            cluster.sim.spawn(client(host))
+        cluster.sim.run()
+        assert len(finishes) == 2
+        single = cluster.cost.tcp_wire_time(size)
+        assert max(finishes) > 1.5 * single
