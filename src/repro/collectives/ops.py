@@ -1,0 +1,143 @@
+"""Operator definitions for the collective-communication subsystem.
+
+Four fusion/chunking operators back the collective graph fragments:
+
+* ``FusionPack``   — coalesce k gradient tensors into one flat fusion
+  buffer (a device-local packing kernel, charged at the elementwise
+  rate like every other device kernel in the cost model);
+* ``ChunkSlice``   — a contiguous 1-D slice of a fusion buffer (a view
+  in a real implementation: the NIC reads straight out of the buffer,
+  so only dispatch overhead is charged);
+* ``ChunkConcat``  — reassemble reduced chunks into a full buffer (in a
+  real ring the incoming chunks land in place inside the fusion
+  buffer, so again only dispatch overhead);
+* ``FusionUnpack`` — split a reduced fusion buffer back into
+  per-variable gradients (the unpacking copy, symmetric to pack).
+
+All four have dense ``compute`` implementations so small graphs verify
+numerically, and static shape inference so the RDMA analyzer places
+every chunk transfer on the zero-copy static protocol (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.node import GraphError
+from ..graph.ops import register
+from ..graph.shapes import Shape
+
+
+def _set(node, shapes, dtypes) -> None:
+    node.output_shapes = [Shape(s) if not isinstance(s, Shape) else s
+                          for s in shapes]
+    node.output_dtypes = list(dtypes)
+    node.static_shape = all(s.is_fully_defined for s in node.output_shapes)
+
+
+def _flat_elements(node) -> int:
+    total = 0
+    for shape in node.output_shapes:
+        for dim in shape.dims:
+            if dim is None:
+                return 0
+        total += shape.num_elements()
+    return total
+
+
+def _pack_compute(node, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    return [np.concatenate([np.asarray(a).ravel() for a in inputs])]
+
+
+def _pack_cost(node, cm) -> float:
+    # A device-local coalescing kernel, same rate as other elementwise
+    # device ops (memcpy_bandwidth would model a *host* copy and put a
+    # 5x-slower staging pass on the worker's critical path).
+    return cm.op_overhead + _flat_elements(node) / cm.gpu_elementwise
+
+
+@register("FusionPack", compute=_pack_compute, cost=_pack_cost)
+def _infer_fusion_pack(node, in_shapes, in_dtypes):
+    if not in_shapes:
+        raise GraphError(f"{node.name}: FusionPack needs at least one input")
+    total = 0
+    for shape in in_shapes:
+        if not shape.is_fully_defined:
+            raise GraphError(
+                f"{node.name}: FusionPack requires static shapes "
+                f"(got {shape}); dynamic tensors cannot share a "
+                "statically-placed fusion buffer")
+        total += shape.num_elements()
+    _set(node, [Shape((total,))], [in_dtypes[0]])
+
+
+def _slice_compute(node, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    begin, size = node.attrs["begin"], node.attrs["size"]
+    return [np.asarray(inputs[0])[begin:begin + size]]
+
+
+@register("ChunkSlice", cost=lambda node, cm: cm.op_overhead,
+          compute=_slice_compute)
+def _infer_chunk_slice(node, in_shapes, in_dtypes):
+    begin, size = node.attrs["begin"], node.attrs["size"]
+    if begin < 0 or size <= 0:
+        raise GraphError(f"{node.name}: bad chunk range "
+                         f"[{begin}, {begin + size})")
+    shape = in_shapes[0]
+    if shape.rank != 1:
+        raise GraphError(f"{node.name}: ChunkSlice needs a flat buffer, "
+                         f"got rank {shape.rank}")
+    if shape.is_fully_defined and begin + size > shape.num_elements():
+        raise GraphError(
+            f"{node.name}: chunk [{begin}, {begin + size}) outside "
+            f"buffer of {shape.num_elements()} elements")
+    _set(node, [Shape((size,))], [in_dtypes[0]])
+
+
+def _concat_compute(node, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    return [np.concatenate([np.asarray(a).ravel() for a in inputs])]
+
+
+@register("ChunkConcat", cost=lambda node, cm: cm.op_overhead,
+          compute=_concat_compute)
+def _infer_chunk_concat(node, in_shapes, in_dtypes):
+    total = 0
+    for shape in in_shapes:
+        if shape.rank != 1:
+            raise GraphError(f"{node.name}: ChunkConcat needs flat chunks")
+        if not shape.is_fully_defined:
+            raise GraphError(f"{node.name}: ChunkConcat needs static chunks")
+        total += shape.num_elements()
+    _set(node, [Shape((total,))], [in_dtypes[0]])
+
+
+def _unpack_compute(node, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    flat = np.asarray(inputs[0]).ravel()
+    outputs = []
+    offset = 0
+    for _, shape, _ in node.attrs["layout"]:
+        count = shape.num_elements()
+        outputs.append(flat[offset:offset + count].reshape(shape.as_tuple()))
+        offset += count
+    return outputs
+
+
+def _unpack_cost(node, cm) -> float:
+    return cm.op_overhead + _flat_elements(node) / cm.gpu_elementwise
+
+
+@register("FusionUnpack", compute=_unpack_compute, cost=_unpack_cost)
+def _infer_fusion_unpack(node, in_shapes, in_dtypes):
+    layout = node.attrs.get("layout")
+    if not layout:
+        raise GraphError(f"{node.name}: FusionUnpack needs a layout")
+    total = sum(shape.num_elements() for _, shape, _ in layout)
+    buffer_shape = in_shapes[0]
+    if buffer_shape.is_fully_defined and buffer_shape.num_elements() != total:
+        raise GraphError(
+            f"{node.name}: layout covers {total} elements but the fusion "
+            f"buffer holds {buffer_shape.num_elements()}")
+    _set(node, [shape for _, shape, _ in layout],
+         [dtype for _, _, dtype in layout])

@@ -13,6 +13,7 @@ transfer always uses the dynamic protocol so polling stays on the CPU
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Optional
 
 from ..graph.allocator import ArenaAllocator
@@ -174,7 +175,10 @@ class RdmaCommRuntime(CommRuntime):
                     arena=arena, arena_region=region, state=self.state)
 
     def _qp_for(self, key: str) -> int:
-        return hash(key) % self.num_qps_per_peer
+        # crc32 rather than hash(): Python string hashing is salted
+        # per process, which would stripe edges across QPs differently
+        # from run to run and break cross-run determinism.
+        return zlib.crc32(key.encode()) % self.num_qps_per_peer
 
     # -- staging delays (GPU) -------------------------------------------------------------
 

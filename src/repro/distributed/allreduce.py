@@ -1,0 +1,164 @@
+"""Data-parallel training over worker-to-worker collectives.
+
+The paper's evaluation (§5, Figure 11) trains through a
+parameter-server graph: every mini-batch moves ``2 × model_bytes`` per
+worker (gradients up, weights down) and concentrates the aggregate
+load on the PS shards.  This module builds the alternative that modern
+stacks (NCCL/Horovod-style) use: every worker holds a **replica** of
+the variables, gradients are bucketized into fusion buffers
+(:mod:`repro.collectives.bucketing`) and reduced directly between
+workers with a bandwidth-optimal collective, and each worker applies
+the reduced gradient to its local replica.  Per step a worker then
+puts only ``≈ 2 × model_bytes × (N-1)/N`` on the wire, there are no
+PS processes at all, and every chunk transfer is a statically-placed
+one-sided RDMA write.
+
+``build_allreduce_training_graph`` mirrors
+:func:`repro.distributed.replication.build_training_graph` — same
+forward/backward synthetic-compute split, same learning-rate constant —
+so PS-vs-collective comparisons differ only in the communication
+pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..collectives.bucketing import (DEFAULT_FUSION_BYTES, GradientBucket,
+                                     plan_buckets)
+from ..collectives.fragments import (halving_doubling_allreduce,
+                                     halving_doubling_wire_bytes,
+                                     ring_allreduce,
+                                     ring_allreduce_wire_bytes)
+from ..graph.builder import GraphBuilder
+from ..graph.dtypes import DType
+from ..graph.node import Graph, NodeOutput
+from ..graph.shapes import Shape
+from ..models.spec import ModelSpec
+from .replication import _LR
+
+
+#: collective algorithms selectable from the harness
+ALLREDUCE_ALGORITHMS = ("ring", "halving-doubling")
+
+
+@dataclass
+class AllreduceTrainingJob:
+    """A built allreduce training graph plus its layout and policy."""
+
+    graph: Graph
+    spec: ModelSpec
+    num_workers: int
+    batch_size: int
+    devices: List[str]
+    algorithm: str
+    fusion_bytes: int
+    buckets: List[GradientBucket]
+
+    @property
+    def bytes_per_worker_per_step(self) -> float:
+        """Predicted mean wire payload per worker per mini-batch."""
+        predict = (ring_allreduce_wire_bytes if self.algorithm == "ring"
+                   else halving_doubling_wire_bytes)
+        return sum(predict(bucket.nbytes, self.num_workers)
+                   for bucket in self.buckets)
+
+
+def build_allreduce_training_graph(
+        spec: ModelSpec, num_workers: int, batch_size: int,
+        algorithm: str = "ring",
+        fusion_bytes: int = DEFAULT_FUSION_BYTES,
+        lr: Optional[float] = None) -> AllreduceTrainingJob:
+    """Construct the replicated, collective-reduced training graph.
+
+    Every worker owns a full variable replica; the backward pass emits
+    per-variable gradients in reverse layer order, which are packed
+    into fusion buckets (so a bucket's allreduce starts as soon as its
+    last gradient materializes and overlaps the rest of backward),
+    reduced across workers with the selected collective, unpacked, and
+    applied locally.
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    if algorithm not in ALLREDUCE_ALGORITHMS:
+        raise ValueError(f"unknown allreduce algorithm {algorithm!r}; "
+                         f"have {ALLREDUCE_ALGORITHMS}")
+    collective = (ring_allreduce if algorithm == "ring"
+                  else halving_doubling_allreduce)
+    lr = _LR if lr is None else lr
+    builder = GraphBuilder(f"{spec.name}-allreduce-{algorithm}")
+    workers = [f"worker{i}" for i in range(num_workers)]
+
+    # Replicated variables: every worker holds every tensor locally.
+    variable_outputs = [
+        {var.name: builder.variable(Shape(var.shape), DType.float32,
+                                    name=f"w{i}/{var.name}", device=worker)
+         for var in spec.variables}
+        for i, worker in enumerate(workers)]
+
+    # The same proportional compute split as the PS graph (replication
+    # module): layer k's share of forward/backward time follows its
+    # size, so transfers overlap compute identically in both graphs.
+    total_bytes = max(spec.model_bytes, 1)
+    step_compute = spec.compute_time(batch_size)
+    half = step_compute / 2.0
+    weights = [v.nbytes / total_bytes for v in spec.variables]
+
+    # grads[i][var.name]: worker i's local gradient for the variable.
+    grads: List[dict] = [{} for _ in range(num_workers)]
+    for i, worker in enumerate(workers):
+        reads = [builder.identity(variable_outputs[i][v.name],
+                                  name=f"w{i}/read/{v.name}", device=worker)
+                 for v in spec.variables]
+        previous = None
+        for k, var in enumerate(spec.variables):
+            inputs = [reads[k]]
+            if previous is not None:
+                inputs.append(previous)
+            previous = builder.synthetic_compute(
+                half * weights[k], inputs=inputs,
+                name=f"w{i}/fwd/{var.name}", device=worker)
+        for k in reversed(range(len(spec.variables))):
+            var = spec.variables[k]
+            stage = builder.synthetic_compute(
+                half * weights[k],
+                outputs=[(DType.float32, Shape(var.shape))],
+                inputs=[previous],
+                name=f"w{i}/bwd/{var.name}", device=worker)
+            previous = stage
+            grads[i][var.name] = stage
+
+    # Bucketize in gradient-ready (reverse layer) order and reduce.
+    ready_order = list(reversed(spec.variables))
+    buckets = plan_buckets(ready_order, fusion_bytes=fusion_bytes)
+    for bucket in buckets:
+        packed: List[NodeOutput] = [
+            builder.add_op(
+                "FusionPack",
+                [grads[i][var.name] for var in bucket.variables],
+                name=f"w{i}/pack{bucket.index}", device=workers[i])
+            for i in range(num_workers)]
+        reduced = collective(builder, packed, workers,
+                             name=f"bucket{bucket.index}")
+        layout = [(var.name, Shape(var.shape), DType.float32)
+                  for var in bucket.variables]
+        for i, worker in enumerate(workers):
+            unpacked = builder.add_op(
+                "FusionUnpack", [reduced[i]], attrs={"layout": layout},
+                name=f"w{i}/unpack{bucket.index}", device=worker)
+            for j, var in enumerate(bucket.variables):
+                # The reduced gradient is the sum over workers, and the
+                # PS graph applies each worker's gradient at ``lr``, so
+                # applying the sum once at ``lr`` matches its update.
+                builder.apply_gradient(
+                    variable_outputs[i][var.name],
+                    unpacked.node.output(j), lr=lr,
+                    name=f"w{i}/apply/{var.name}", device=worker)
+
+    graph = builder.finalize()
+    devices = sorted({node.device for node in graph})
+    return AllreduceTrainingJob(
+        graph=graph, spec=spec, num_workers=num_workers,
+        batch_size=batch_size, devices=devices, algorithm=algorithm,
+        fusion_bytes=fusion_bytes, buckets=buckets)

@@ -5,20 +5,25 @@ mechanism, number of servers, mini-batch size) -> steady-state
 mini-batch time and throughput.  The deployment follows §5.2: every
 server runs one worker process and one parameter-server process, and
 the paper's "Local" baseline runs compute and variables on a single
-server with no communication.
+server with no communication.  ``strategy`` swaps the communication
+architecture: ``"ps"`` is the paper's parameter-server graph, while
+``"ring"`` and ``"halving-doubling"`` replace the PS shards with
+worker-to-worker collectives (:mod:`repro.distributed.allreduce`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
 
 from ..core.rdma_comm import RdmaCommRuntime
 from ..graph.session import RunStats, Session
 from ..graph.transfer_api import CommRuntime, NullComm
 from ..models.spec import ModelSpec
 from ..simnet.costmodel import CostModel
+from ..simnet.metrics import MetricsCollector
 from ..simnet.topology import Cluster
+from .allreduce import (AllreduceTrainingJob, build_allreduce_training_graph)
 from .replication import TrainingJob, build_training_graph
 from .rpc_comm import GrpcCommRuntime
 
@@ -26,24 +31,93 @@ from .rpc_comm import GrpcCommRuntime
 MECHANISMS = ("gRPC.TCP", "gRPC.RDMA", "RDMA", "RDMA.cp", "RDMA.gpu",
               "RDMA+GDR", "Local")
 
+STRATEGIES = ("ps", "ring", "halving-doubling")
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Harness-level communication-runtime knobs.
+
+    Historically ``RdmaCommRuntime``'s constructor defaults were the
+    only way to pick the completion-queue and queue-pair layout; the
+    harness CLI now writes this config (``--num-cqs``,
+    ``--qps-per-peer``, ``--backend``) so sweeps can vary them without
+    code edits.  ``backend`` names the mechanism used wherever an
+    experiment asks for the configured default (``"auto"``).
+    """
+
+    num_cqs: int = 4
+    num_qps_per_peer: int = 4
+    backend: str = "RDMA"
+
+
+_COMM_CONFIG = CommConfig()
+
+
+def comm_config() -> CommConfig:
+    """The currently configured communication-runtime knobs."""
+    return _COMM_CONFIG
+
+
+def configure_comm(num_cqs: Optional[int] = None,
+                   num_qps_per_peer: Optional[int] = None,
+                   backend: Optional[str] = None) -> CommConfig:
+    """Override selected comm-runtime knobs; returns the new config."""
+    global _COMM_CONFIG
+    changes = {}
+    if num_cqs is not None:
+        if num_cqs < 1:
+            raise ValueError("num_cqs must be at least 1")
+        changes["num_cqs"] = num_cqs
+    if num_qps_per_peer is not None:
+        if num_qps_per_peer < 1:
+            raise ValueError("num_qps_per_peer must be at least 1")
+        changes["num_qps_per_peer"] = num_qps_per_peer
+    if backend is not None:
+        if backend == "auto" or backend not in MECHANISMS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"have {MECHANISMS}")
+        changes["backend"] = backend
+    _COMM_CONFIG = replace(_COMM_CONFIG, **changes)
+    return _COMM_CONFIG
+
+
+def reset_comm_config() -> None:
+    """Restore the built-in comm-runtime defaults."""
+    global _COMM_CONFIG
+    _COMM_CONFIG = CommConfig()
+
 
 def make_mechanism(name: str) -> CommRuntime:
-    """Instantiate a transfer mechanism by its evaluation label."""
+    """Instantiate a transfer mechanism by its evaluation label.
+
+    ``"auto"`` resolves to the configured default backend (see
+    :func:`configure_comm`); RDMA mechanisms pick up the configured
+    CQ/QP layout.
+    """
+    if name == "auto":
+        name = _COMM_CONFIG.backend
+    cqs = _COMM_CONFIG.num_cqs
+    qps = _COMM_CONFIG.num_qps_per_peer
     if name == "gRPC.TCP":
         return GrpcCommRuntime(transport="tcp")
     if name == "gRPC.RDMA":
         return GrpcCommRuntime(transport="rdma")
     if name == "RDMA":
-        return RdmaCommRuntime(zero_copy=True)
+        return RdmaCommRuntime(zero_copy=True, num_cqs=cqs,
+                               num_qps_per_peer=qps)
     if name == "RDMA.cp":
-        return RdmaCommRuntime(zero_copy=False)
+        return RdmaCommRuntime(zero_copy=False, num_cqs=cqs,
+                               num_qps_per_peer=qps)
     if name == "RDMA.gpu":
         # Tensors in GPU memory without GPUDirect: PCIe staging on
         # both ends of every transfer (the Table 3 "RDMA" column).
-        return RdmaCommRuntime(zero_copy=True, gpu_tensors=True)
+        return RdmaCommRuntime(zero_copy=True, gpu_tensors=True,
+                               num_cqs=cqs, num_qps_per_peer=qps)
     if name == "RDMA+GDR":
         return RdmaCommRuntime(zero_copy=True, gpu_tensors=True,
-                               gpudirect=True)
+                               gpudirect=True, num_cqs=cqs,
+                               num_qps_per_peer=qps)
     if name == "Local":
         return NullComm()
     raise ValueError(f"unknown mechanism {name!r}; have {MECHANISMS}")
@@ -60,6 +134,13 @@ class BenchmarkResult:
     stats: RunStats
     crashed: bool = False
     crash_reason: str = ""
+    strategy: str = "ps"
+    #: predicted mean wire payload per worker per step (collectives)
+    predicted_wire_bytes: Optional[float] = None
+    #: wire-transfer records, populated when ``collect_metrics=True``
+    metrics: Optional[MetricsCollector] = None
+    #: simulated hosts carrying workers (for per-worker accounting)
+    worker_hosts: Tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def step_time(self) -> float:
@@ -76,6 +157,25 @@ class BenchmarkResult:
         """Aggregate samples/s across all workers."""
         return self.throughput * self.batch_size * self.num_servers
 
+    def wire_bytes_per_worker(self) -> Optional[float]:
+        """Measured mean egress bytes per worker per steady-state step.
+
+        Counts transfers starting after iteration 0 finished (warm-up
+        staging, tracing, and address distribution excluded) across the
+        worker hosts, averaged over hosts and steady iterations.
+        Requires the run to have been made with ``collect_metrics``.
+        """
+        if (self.metrics is None or self.crashed or not self.worker_hosts
+                or len(self.stats.iteration_end_times) < 2):
+            return None
+        steady_start = self.stats.iteration_end_times[0]
+        steady_iterations = len(self.stats.iteration_end_times) - 1
+        total = sum(
+            self.metrics.bytes_in_window(lo=steady_start, host=host,
+                                         direction="egress")
+            for host in self.worker_hosts)
+        return total / (len(self.worker_hosts) * steady_iterations)
+
 
 def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            num_servers: int, batch_size: int,
@@ -83,6 +183,9 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            cost: Optional[CostModel] = None,
                            comm: Optional[CommRuntime] = None,
                            placement: str = "round_robin",
+                           strategy: str = "ps",
+                           fusion_bytes: Optional[int] = None,
+                           collect_metrics: bool = False,
                            time_limit: float = 36000.0) -> BenchmarkResult:
     """Run one (model, mechanism, scale, batch) configuration.
 
@@ -91,11 +194,25 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
     (oversized messages, §5.1/§5.2) are captured as a crashed result
     rather than raising, mirroring how the paper reports them.
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
     local = mechanism == "Local"
-    job = build_training_graph(spec, num_workers=1 if local else num_servers,
-                               batch_size=batch_size, local=local,
-                               placement=placement)
+    predicted: Optional[float] = None
+    if strategy == "ps" or local:
+        job = build_training_graph(spec,
+                                   num_workers=1 if local else num_servers,
+                                   batch_size=batch_size, local=local,
+                                   placement=placement)
+    else:
+        kwargs = {}
+        if fusion_bytes is not None:
+            kwargs["fusion_bytes"] = fusion_bytes
+        job = build_allreduce_training_graph(
+            spec, num_workers=num_servers, batch_size=batch_size,
+            algorithm=strategy, **kwargs)
+        predicted = job.bytes_per_worker_per_step
     cluster = Cluster(1 if local else num_servers, cost=cost)
+    collector = cluster.enable_metrics() if collect_metrics else None
     device_hosts = {}
     for device in job.devices:
         if device == "local0":
@@ -103,6 +220,8 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
         else:
             index = int(device.lstrip("workerps"))
             device_hosts[device] = cluster.hosts[index]
+    worker_hosts = tuple(sorted({host.name
+                                 for host in device_hosts.values()}))
     comm = comm or make_mechanism(mechanism)
     try:
         session = Session(cluster, job.graph, device_hosts, comm=comm)
@@ -112,7 +231,13 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                                num_servers=num_servers,
                                batch_size=batch_size,
                                stats=RunStats(iterations=0),
-                               crashed=True, crash_reason=str(exc))
+                               crashed=True, crash_reason=str(exc),
+                               strategy=strategy,
+                               predicted_wire_bytes=predicted,
+                               metrics=collector,
+                               worker_hosts=worker_hosts)
     return BenchmarkResult(model=spec.name, mechanism=mechanism,
                            num_servers=num_servers, batch_size=batch_size,
-                           stats=stats)
+                           stats=stats, strategy=strategy,
+                           predicted_wire_bytes=predicted,
+                           metrics=collector, worker_hosts=worker_hosts)

@@ -34,6 +34,20 @@ class GraphBuilder:
                                    device=device or self.default_device)
         return node.output(0)
 
+    def add_op(self, op_type: str, inputs: Sequence[NodeOutput] = (),
+               attrs: Optional[dict] = None, name: Optional[str] = None,
+               device: Optional[str] = None) -> NodeOutput:
+        """Append a node of any registered operator type.
+
+        The public escape hatch for extension subsystems (e.g. the
+        collectives' fusion/chunk operators) that define their own ops
+        via :func:`repro.graph.ops.register` without a dedicated
+        builder method.  Returns output 0; reach further outputs
+        through ``result.node.output(i)``.
+        """
+        return self._add(op_type, list(inputs), attrs=attrs, name=name,
+                         device=device)
+
     # -- sources ---------------------------------------------------------------------
 
     def placeholder(self, shape: ShapeLike, dtype: DType = DType.float32,

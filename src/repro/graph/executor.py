@@ -69,6 +69,11 @@ class Executor:
         self.poll_misses = 0
         self._order = graph.topological_order()
         self._wake: Optional[Event] = None
+        # Remote one-sided writes landing in this host's memory wake
+        # the ready loop so flag pollers re-check without waiting out
+        # their idle backoff (the backoff only bounds simulator events;
+        # a real spinning poller sees the flag within its poll interval).
+        host.wake_listeners.append(self._notify)
         #: per-iteration allocations, reclaimed at the next iteration
         self._transient: List[Tuple[BaseAllocator, Tensor]] = []
 
@@ -137,6 +142,10 @@ class Executor:
         #: nodes currently in their polling phase: node -> Outcome
         polling: Dict[str, Outcome] = {}
         idle_backoff = self.cost.idle_poll_interval
+        #: misses since the last wake-up/hit; the executor only parks
+        #: after a full sweep of the pollers has missed, so one wake-up
+        #: (arriving data) gets every flag checked, not just one
+        sweep_misses = 0
 
         def finish(node: Node, outputs: List[Tensor]) -> None:
             nonlocal completed
@@ -168,13 +177,19 @@ class Executor:
                     self.poll_misses += 1
                     yield self.sim.timeout(self.cost.poll_requeue)
                     ready.append(node)
-                    if not any(n.name not in polling for n in ready):
-                        # Only pollers left: idle with growing backoff so
+                    sweep_misses += 1
+                    if (sweep_misses >= len(ready)
+                            and not any(n.name not in polling
+                                        for n in ready)):
+                        # A whole sweep of pollers missed and nothing
+                        # else is runnable: idle with growing backoff so
                         # polling does not monopolize the simulated CPU.
                         yield self._wait_for_wake(timeout=idle_backoff)
                         idle_backoff = min(idle_backoff * 2, _IDLE_BACKOFF_MAX)
+                        sweep_misses = 0
                     continue
                 idle_backoff = self.cost.idle_poll_interval
+                sweep_misses = 0
                 del polling[node.name]
                 in_flight -= 1
                 next_outcome = outcome.complete()

@@ -28,6 +28,9 @@ class RunStats:
 
     iterations: int
     iteration_times: List[float] = field(default_factory=list)
+    #: absolute simulated clock at each iteration's end — lets metrics
+    #: consumers window on "after warm-up" without re-deriving offsets
+    iteration_end_times: List[float] = field(default_factory=list)
     total_time: float = 0.0
 
     @property
@@ -111,6 +114,7 @@ class Session:
                 self.sim.step()
             _ = barrier.value  # surface executor exceptions
             stats.iteration_times.append(self.sim.now - start)
+            stats.iteration_end_times.append(self.sim.now)
         stats.total_time = self.sim.now - start_total
         return stats
 

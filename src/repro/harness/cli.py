@@ -13,6 +13,7 @@ import argparse
 import sys
 import time
 
+from ..distributed.runner import MECHANISMS, configure_comm
 from .experiments import ALL_EXPERIMENTS, run_all
 
 
@@ -26,7 +27,19 @@ def main(argv=None) -> int:
                         help="subset to run (default: all)")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of the fast trimmed ones")
+    parser.add_argument("--num-cqs", type=int, default=None, metavar="N",
+                        help="completion queues per RDMA device (default 4)")
+    parser.add_argument("--qps-per-peer", type=int, default=None,
+                        metavar="N",
+                        help="queue pairs per peer endpoint (default 4)")
+    parser.add_argument("--backend", choices=MECHANISMS, default=None,
+                        help="transfer mechanism used where an experiment "
+                             "asks for the configured default")
     args = parser.parse_args(argv)
+
+    configure_comm(num_cqs=args.num_cqs,
+                   num_qps_per_peer=args.qps_per_peer,
+                   backend=args.backend)
 
     if args.experiments:
         selected = {name: ALL_EXPERIMENTS[name] for name in args.experiments}

@@ -246,6 +246,62 @@ def table3(batch_size: int = 32, num_servers: int = 8,
     return result
 
 
+def extension_allreduce(models: Sequence[str] = ("FCN-5", "VGGNet-16"),
+                        server_counts: Sequence[int] = (2, 4, 8),
+                        mechanisms: Sequence[str] = ("RDMA", "gRPC.TCP"),
+                        batch_size: int = 32,
+                        iterations: int = 3) -> ExperimentResult:
+    """Extension: PS vs collective allreduce scalability (figure-11 style).
+
+    Runs the same models over the parameter-server graph and the
+    worker-to-worker ring / halving-doubling collectives, on RDMA and
+    TCP, recording both step times and per-worker wire volume.  The
+    measured wire bytes come from the simnet transfer log and should
+    match the analytic ``2·M·(N-1)/N`` ring prediction.
+    """
+    result = ExperimentResult(
+        experiment="Extension: allreduce",
+        title=f"PS vs collective allreduce at mini-batch {batch_size}",
+        columns=["benchmark", "strategy", "mechanism", "servers",
+                 "step_time_ms", "minibatches_per_s", "speedup_vs_local",
+                 "wire_mb_per_worker", "predicted_wire_mb"])
+    for name in models:
+        spec = get_model(name)
+        local = run_training_benchmark(spec, "Local", num_servers=1,
+                                       batch_size=batch_size,
+                                       iterations=iterations)
+        result.add_row(name, "local", "Local", 1,
+                       round(local.step_time * 1e3, 2),
+                       round(local.throughput, 2), 1.0, 0.0, 0.0)
+        for strategy in ("ps", "ring", "halving-doubling"):
+            for mechanism in mechanisms:
+                for servers in server_counts:
+                    bench = run_training_benchmark(
+                        spec, mechanism, num_servers=servers,
+                        batch_size=batch_size, iterations=iterations,
+                        strategy=strategy, collect_metrics=True)
+                    if bench.crashed:
+                        result.add_row(name, strategy, mechanism, servers,
+                                       None, None, None, None, None)
+                        result.note(f"{name}/{strategy}/{mechanism}/"
+                                    f"n{servers} crashed: "
+                                    f"{bench.crash_reason[:80]}")
+                        continue
+                    aggregate = bench.throughput * servers
+                    measured = bench.wire_bytes_per_worker()
+                    predicted = bench.predicted_wire_bytes
+                    result.add_row(
+                        name, strategy, mechanism, servers,
+                        round(bench.step_time * 1e3, 2),
+                        round(aggregate, 2),
+                        round(aggregate / local.throughput, 2),
+                        None if measured is None else round(measured / MB, 2),
+                        None if predicted is None else round(predicted / MB, 2))
+    result.note("ring per-worker wire bytes follow 2*M*(N-1)/N; the PS "
+                "graph moves 2*M per worker regardless of N")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -255,6 +311,7 @@ ALL_EXPERIMENTS = {
     "figure11": figure11,
     "figure12": figure12,
     "table3": table3,
+    "allreduce": extension_allreduce,
 }
 
 
@@ -273,5 +330,8 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
             "figure12": figure12(models=("AlexNet", "GRU"), iterations=3),
             "table3": table3(models=("AlexNet", "Inception-v3"),
                              iterations=3),
+            "allreduce": extension_allreduce(
+                models=("FCN-5",), server_counts=(4,),
+                mechanisms=("RDMA",), iterations=3),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

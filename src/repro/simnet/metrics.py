@@ -60,6 +60,32 @@ class MetricsCollector:
         return sum(1 for t in self.transfers
                    if kind is None or t.kind == kind)
 
+    def bytes_in_window(self, lo: float = 0.0, hi: Optional[float] = None,
+                        host: Optional[str] = None,
+                        direction: str = "egress",
+                        kinds: Optional[Tuple[str, ...]] = None) -> int:
+        """Payload bytes of transfers *starting* inside ``[lo, hi)``.
+
+        The workhorse of steady-state accounting: experiments snapshot
+        the simulated clock at an iteration boundary and ask how many
+        bytes a host (or the whole cluster, ``host=None``) put on the
+        wire afterwards, excluding warm-up traffic such as iteration
+        zero's staged copies and address-book distribution.
+        """
+        if direction not in ("egress", "ingress"):
+            raise ValueError("direction must be 'egress' or 'ingress'")
+        key = "src_host" if direction == "egress" else "dst_host"
+        total = 0
+        for t in self.transfers:
+            if t.start < lo or (hi is not None and t.start >= hi):
+                continue
+            if host is not None and getattr(t, key) != host:
+                continue
+            if kinds is not None and t.kind not in kinds:
+                continue
+            total += t.nbytes
+        return total
+
     def bytes_by_host(self, direction: str = "egress") -> Dict[str, int]:
         """Per-host byte totals; direction 'egress' or 'ingress'."""
         if direction not in ("egress", "ingress"):

@@ -348,7 +348,8 @@ class RdmaNic:
         qp._last_arrival = end
 
         self._schedule_ascending_commit(dest_buf.backing, dest_off, wr.size,
-                                        payload, start, end, head, tail)
+                                        payload, start, end, head, tail,
+                                        wake_host=remote_nic.host)
         self._record(Opcode.WRITE, self.host, remote_nic.host, wr.size,
                      start, end)
         if wr.signaled:
@@ -386,7 +387,8 @@ class RdmaNic:
         qp._last_arrival = end
 
         self._schedule_ascending_commit(dest_buf.backing, dest_off, wr.size,
-                                        payload, start, end, head, tail)
+                                        payload, start, end, head, tail,
+                                        wake_host=self.host)
         self._record(Opcode.READ, remote_nic.host, self.host, wr.size,
                      start, end)
         if wr.signaled:
@@ -437,7 +439,8 @@ class RdmaNic:
     def _schedule_ascending_commit(self, backing: Backing, offset: int, size: int,
                                    payload: Optional[bytes], start: float,
                                    end: float, head: bytes = b"",
-                                   tail: bytes = b"") -> None:
+                                   tail: bytes = b"",
+                                   wake_host=None) -> None:
         """Commit a transfer into ``backing`` in ascending address order.
 
         The range is split into chunks whose commit times are spread
@@ -445,6 +448,8 @@ class RdmaNic:
         byte) always commits exactly at ``end``.  For virtual payloads,
         the real ``head``/``tail`` windows are applied with the first
         and last chunks so protocol headers and flag bytes land.
+        ``wake_host``'s parked executors are notified when the tail
+        chunk commits (the moment a spinning flag poller would see it).
         """
         if size == 0:
             return
@@ -471,4 +476,6 @@ class RdmaNic:
                         backing.write(offset, head)
                     if final and tail:
                         backing.write(offset + size - len(tail), tail)
+                if final and wake_host is not None:
+                    wake_host.notify_memory_commit()
             self.sim.call_at(when, commit)

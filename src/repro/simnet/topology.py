@@ -10,7 +10,7 @@ device interface which identifies peers by IP address and port.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .cpu import CpuEngine
@@ -46,6 +46,17 @@ class Host:
         #: bounded lanes for per-byte communication CPU work (RPC
         #: serialization and copies contend here; one-sided RDMA does not)
         self.cpu = CpuEngine(self.sim, self.cost.rpc_copy_threads)
+        #: callbacks fired when a one-sided transfer finishes committing
+        #: into this host's memory.  Pollers (the flag-byte receivers of
+        #: §3.2) park on idle backoff purely to bound simulator events; a
+        #: real spinning poller would observe the flag within its poll
+        #: interval, so arrival wakes them immediately.
+        self.wake_listeners: List[Callable[[], None]] = []
+
+    def notify_memory_commit(self) -> None:
+        """Wake parked executors: remote data just landed in memory."""
+        for listener in self.wake_listeners:
+            listener()
 
     def allocate(self, size: int, label: str = "",
                  dense: Optional[bool] = None) -> Buffer:

@@ -1,0 +1,89 @@
+"""Tests for gradient bucketization and chunk partitioning."""
+
+import pytest
+
+from repro.collectives import (DEFAULT_FUSION_BYTES, chunk_ranges,
+                               plan_buckets)
+from repro.models import get_model
+from repro.models.spec import VariableSpec
+
+
+def var(name, elements):
+    return VariableSpec(name=name, shape=(elements,))
+
+
+class TestPlanBuckets:
+    def test_greedy_fill_in_order(self):
+        # 3 x 100B vars fit a 400B bucket; the 4th opens a new one.
+        variables = [var(f"v{i}", 25) for i in range(4)]
+        buckets = plan_buckets(variables, fusion_bytes=300)
+        assert [b.num_variables for b in buckets] == [3, 1]
+        assert [v.name for v in buckets[0].variables] == ["v0", "v1", "v2"]
+        assert [b.index for b in buckets] == [0, 1]
+
+    def test_exact_fit_does_not_split(self):
+        variables = [var("a", 25), var("b", 25)]
+        (bucket,) = plan_buckets(variables, fusion_bytes=200)
+        assert bucket.nbytes == 200
+
+    def test_oversized_variable_spills_alone(self):
+        variables = [var("small0", 10), var("huge", 1000), var("small1", 10)]
+        buckets = plan_buckets(variables, fusion_bytes=100)
+        assert [tuple(v.name for v in b.variables) for b in buckets] == [
+            ("small0",), ("huge",), ("small1",)]
+
+    def test_order_preserved_across_spill(self):
+        variables = [var("a", 10), var("b", 10), var("huge", 1000),
+                     var("c", 10)]
+        buckets = plan_buckets(variables, fusion_bytes=100)
+        flattened = [v.name for b in buckets for v in b.variables]
+        assert flattened == ["a", "b", "huge", "c"]
+
+    def test_bucket_properties(self):
+        (bucket,) = plan_buckets([var("a", 3), var("b", 5)],
+                                 fusion_bytes=1024)
+        assert bucket.num_elements == 8
+        assert bucket.nbytes == 32
+        assert bucket.num_variables == 2
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_buckets([var("a", 1)], fusion_bytes=0)
+
+    def test_empty_input(self):
+        assert plan_buckets([], fusion_bytes=1024) == []
+
+    def test_real_model_covers_all_variables(self):
+        spec = get_model("VGGNet-16")
+        buckets = plan_buckets(spec.variables,
+                               fusion_bytes=DEFAULT_FUSION_BYTES)
+        assert sum(b.nbytes for b in buckets) == spec.model_bytes
+        assert all(b.nbytes <= DEFAULT_FUSION_BYTES or b.num_variables == 1
+                   for b in buckets)
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        assert chunk_ranges(12, 4) == [(0, 3), (3, 3), (6, 3), (9, 3)]
+
+    def test_uneven_split_front_loads_extra(self):
+        ranges = chunk_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 3), (7, 3)]
+        assert sum(size for _, size in ranges) == 10
+
+    def test_single_chunk(self):
+        assert chunk_ranges(7, 1) == [(0, 7)]
+
+    def test_chunks_cover_without_overlap(self):
+        ranges = chunk_ranges(17, 5)
+        end = 0
+        for begin, size in ranges:
+            assert begin == end and size >= 1
+            end = begin + size
+        assert end == 17
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+        with pytest.raises(ValueError):
+            chunk_ranges(3, 4)

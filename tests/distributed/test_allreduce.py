@@ -1,0 +1,152 @@
+"""Tests for the allreduce training graph and the strategy runner path."""
+
+import pytest
+
+from repro.distributed import (ALLREDUCE_ALGORITHMS, STRATEGIES, CommConfig,
+                               build_allreduce_training_graph, comm_config,
+                               configure_comm, make_mechanism,
+                               reset_comm_config, run_training_benchmark)
+from repro.graph.partition import partition
+from repro.models import get_model
+
+
+@pytest.fixture(scope="module")
+def fcn5():
+    return get_model("FCN-5")
+
+
+class TestGraphConstruction:
+    def test_devices_are_workers_only(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=4,
+                                             batch_size=8)
+        assert job.devices == [f"worker{i}" for i in range(4)]
+        assert not any(d.startswith("ps") for d in job.devices)
+
+    def test_buckets_cover_model(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=2,
+                                             batch_size=8)
+        assert sum(b.nbytes for b in job.buckets) == fcn5.model_bytes
+
+    def test_fusion_spill_creates_more_buckets(self, fcn5):
+        coarse = build_allreduce_training_graph(fcn5, num_workers=2,
+                                                batch_size=8)
+        fine = build_allreduce_training_graph(fcn5, num_workers=2,
+                                              batch_size=8,
+                                              fusion_bytes=1024 * 1024)
+        assert len(fine.buckets) > len(coarse.buckets)
+        # Oversized gradients spill into single-variable buckets.
+        assert all(b.num_variables == 1 or b.nbytes <= 1024 * 1024
+                   for b in fine.buckets)
+
+    def test_predicted_bytes_formula(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=4,
+                                             batch_size=8)
+        expected = 2.0 * fcn5.model_bytes * 3 / 4
+        assert job.bytes_per_worker_per_step == pytest.approx(expected)
+
+    def test_all_transfers_static(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=2,
+                                             batch_size=8)
+        parts = partition(job.graph)
+        assert parts.transfers
+        assert all(t.static_shape for t in parts.transfers)
+
+    def test_single_worker_has_no_transfers(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=1,
+                                             batch_size=8)
+        assert partition(job.graph).transfers == []
+
+    def test_unknown_algorithm(self, fcn5):
+        with pytest.raises(ValueError, match="unknown allreduce"):
+            build_allreduce_training_graph(fcn5, num_workers=2,
+                                           batch_size=8, algorithm="tree")
+
+    def test_zero_workers(self, fcn5):
+        with pytest.raises(ValueError):
+            build_allreduce_training_graph(fcn5, num_workers=0,
+                                           batch_size=8)
+
+
+class TestRunnerStrategies:
+    @pytest.mark.parametrize("strategy", ALLREDUCE_ALGORITHMS)
+    def test_runs_and_reports_wire_bytes(self, fcn5, strategy):
+        result = run_training_benchmark(
+            fcn5, "RDMA", num_servers=2, batch_size=8, iterations=3,
+            strategy=strategy, collect_metrics=True)
+        assert not result.crashed
+        assert result.strategy == strategy
+        assert result.step_time > 0
+        measured = result.wire_bytes_per_worker()
+        assert measured is not None
+        # Steady-state wire volume within 5% of 2·M·(N-1)/N.
+        assert measured == pytest.approx(result.predicted_wire_bytes,
+                                         rel=0.05)
+
+    def test_ps_strategy_has_no_prediction(self, fcn5):
+        result = run_training_benchmark(fcn5, "RDMA", num_servers=2,
+                                        batch_size=8, iterations=2)
+        assert result.strategy == "ps"
+        assert result.predicted_wire_bytes is None
+
+    def test_metrics_off_by_default(self, fcn5):
+        result = run_training_benchmark(fcn5, "RDMA", num_servers=2,
+                                        batch_size=8, iterations=2,
+                                        strategy="ring")
+        assert result.metrics is None
+        assert result.wire_bytes_per_worker() is None
+
+    def test_fusion_spill_end_to_end(self, fcn5):
+        result = run_training_benchmark(
+            fcn5, "RDMA", num_servers=2, batch_size=8, iterations=2,
+            strategy="ring", fusion_bytes=1024 * 1024)
+        assert not result.crashed
+
+    def test_unknown_strategy_rejected(self, fcn5):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            run_training_benchmark(fcn5, "RDMA", num_servers=2,
+                                   batch_size=8, strategy="gossip")
+
+    def test_strategies_tuple(self):
+        assert STRATEGIES == ("ps", "ring", "halving-doubling")
+
+
+class TestCommConfig:
+    def teardown_method(self):
+        reset_comm_config()
+
+    def test_defaults(self):
+        assert comm_config() == CommConfig()
+        assert comm_config().num_cqs == 4
+        assert comm_config().num_qps_per_peer == 4
+        assert comm_config().backend == "RDMA"
+
+    def test_configure_and_reset(self):
+        configure_comm(num_cqs=2, num_qps_per_peer=8, backend="gRPC.TCP")
+        assert comm_config() == CommConfig(num_cqs=2, num_qps_per_peer=8,
+                                           backend="gRPC.TCP")
+        reset_comm_config()
+        assert comm_config() == CommConfig()
+
+    def test_partial_override(self):
+        configure_comm(num_cqs=1)
+        assert comm_config().num_qps_per_peer == 4
+
+    def test_knobs_reach_rdma_runtime(self):
+        configure_comm(num_cqs=2, num_qps_per_peer=6)
+        comm = make_mechanism("RDMA")
+        assert comm.num_cqs == 2
+        assert comm.num_qps_per_peer == 6
+
+    def test_auto_resolves_to_configured_backend(self):
+        configure_comm(backend="gRPC.TCP")
+        assert make_mechanism("auto").name == "gRPC.TCP"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            configure_comm(num_cqs=0)
+        with pytest.raises(ValueError):
+            configure_comm(num_qps_per_peer=-1)
+        with pytest.raises(ValueError):
+            configure_comm(backend="carrier-pigeon")
+        with pytest.raises(ValueError):
+            configure_comm(backend="auto")

@@ -25,3 +25,31 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
+
+
+class TestCommFlags:
+    def teardown_method(self):
+        from repro.distributed import reset_comm_config
+        reset_comm_config()
+
+    def test_flags_configure_comm(self, capsys):
+        from repro.distributed import comm_config
+        assert main(["--num-cqs", "2", "--qps-per-peer", "8",
+                     "--backend", "gRPC.TCP", "table2"]) == 0
+        config = comm_config()
+        assert config.num_cqs == 2
+        assert config.num_qps_per_peer == 8
+        assert config.backend == "gRPC.TCP"
+
+    def test_defaults_untouched_without_flags(self, capsys):
+        from repro.distributed import CommConfig, comm_config
+        assert main(["table2"]) == 0
+        assert comm_config() == CommConfig()
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--backend", "carrier-pigeon", "table2"])
+
+    def test_invalid_cq_count_rejected(self):
+        with pytest.raises(ValueError):
+            main(["--num-cqs", "0", "table2"])
