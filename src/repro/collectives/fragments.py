@@ -35,8 +35,26 @@ from typing import Dict, List, Sequence, Tuple
 from ..graph.builder import GraphBuilder
 from ..graph.node import NodeOutput
 from ..graph.ops import infer_shapes
+from ..graph.partition import transfer_key
 from .bucketing import chunk_ranges
 from . import ops as _collective_ops  # noqa: F401  (registers the ops)
+
+
+def _mark_collective_edge(builder: GraphBuilder, value: NodeOutput,
+                          dst_device: str) -> None:
+    """Pre-label a cross-device edge as collective-chunk traffic.
+
+    The partitioner will replace this edge with a ``_Send``/``_Recv``
+    pair; recording its rendezvous key in ``Graph.collective_edges``
+    lets the RDMA binding layer tag the transfer's protocol role (and
+    trace spans) as a collective hop rather than a generic tensor move.
+    """
+    if (value.node.device or "device0") == dst_device:
+        return
+    edges = getattr(builder.graph, "collective_edges", None)
+    if edges is None:
+        edges = builder.graph.collective_edges = set()
+    edges.add(transfer_key(value.node.name, value.index, dst_device))
 
 
 @dataclass(frozen=True)
@@ -109,6 +127,7 @@ def ring_reduce_scatter(builder: GraphBuilder,
             incoming = acc[src].get(c)
             if incoming is None:
                 incoming = local_slice(src, c)
+            _mark_collective_edge(builder, incoming, devices[i])
             folded = builder.add_op(
                 "Add", [incoming, local_slice(i, c)],
                 name=f"{name}/w{i}/red{step}", device=devices[i])
@@ -144,6 +163,7 @@ def _forwarding_all_gather(builder: GraphBuilder,
         for i in range(n):
             src = (i - 1) % n
             slot, value = last[src]
+            _mark_collective_edge(builder, value, devices[i])
             landed = builder.add_op(
                 "Identity", [value],
                 name=f"{name}/w{i}/fwd{step}", device=devices[i])
@@ -222,6 +242,7 @@ def halving_doubling_allreduce(builder: GraphBuilder,
     values: List[NodeOutput] = list(inputs[:core])
     # Pre-phase: extra worker core+j folds its whole buffer onto worker j.
     for j in range(extras):
+        _mark_collective_edge(builder, inputs[core + j], devices[j])
         values[j] = builder.add_op(
             "Add", [inputs[core + j], values[j]],
             name=f"{name}/w{j}/fold", device=devices[j])
@@ -258,6 +279,7 @@ def halving_doubling_allreduce(builder: GraphBuilder,
                 raise AssertionError("halving-doubling segment mismatch")
             incoming = segment_slice(partner, keep[0], keep[1] - keep[0],
                                      f"half{k}")
+            _mark_collective_edge(builder, incoming, devices[p])
             local = segment_slice(p, keep[0], keep[1] - keep[0],
                                   f"keep{k}")
             new_values.append(builder.add_op(
@@ -272,6 +294,7 @@ def halving_doubling_allreduce(builder: GraphBuilder,
         staged = []
         for p in range(core):
             partner = p ^ (1 << k)
+            _mark_collective_edge(builder, values[partner], devices[p])
             incoming = builder.add_op(
                 "Identity", [values[partner]],
                 name=f"{name}/w{p}/gath{k}", device=devices[p])
@@ -289,6 +312,7 @@ def halving_doubling_allreduce(builder: GraphBuilder,
     # Post-phase: folded partners push the full result back out.
     outputs = list(values)
     for j in range(extras):
+        _mark_collective_edge(builder, values[j], devices[core + j])
         outputs.append(builder.add_op(
             "Identity", [values[j]],
             name=f"{name}/w{core + j}/unfold", device=devices[core + j]))

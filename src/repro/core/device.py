@@ -109,12 +109,14 @@ class RdmaChannel:
                remote_addr: int, remote_region: RemoteMemRegion, size: int,
                direction: Direction,
                callback: Optional[Callable[[Completion], None]] = None,
-               inline_data: Optional[bytes] = None) -> int:
+               inline_data: Optional[bytes] = None,
+               role: str = "") -> int:
         """Asynchronously copy between local and remote memory.
 
         Returns the work-request id.  ``callback`` fires (from the CQ
         poller) when the verb completes.  ``inline_data`` replaces the
-        local region for small writes (e.g. flag bytes).
+        local region for small writes (e.g. flag bytes).  ``role`` tags
+        the transfer's protocol purpose for metrics and tracing.
         """
         if direction is Direction.LOCAL_TO_REMOTE:
             opcode = Opcode.WRITE
@@ -132,7 +134,7 @@ class RdmaChannel:
             lkey=local_region.lkey if local_region else 0,
             remote_addr=remote_addr, rkey=remote_region.rkey,
             inline_data=inline_data,
-            signaled=True)
+            signaled=True, role=role)
         self.device._register_callback(wr.wr_id, callback)
         self.qp.post_send(wr)
         self.bytes_transferred += wr.size
@@ -274,7 +276,8 @@ class RdmaDevice:
     def post_send_message(self, channel: RdmaChannel, data: bytes,
                           callback: Optional[Callable[[Completion], None]] = None) -> int:
         """Send a small message over the messaging verbs (inline)."""
-        wr = WorkRequest(opcode=Opcode.SEND, inline_data=data)
+        wr = WorkRequest(opcode=Opcode.SEND, inline_data=data,
+                         role="control")
         self._register_callback(wr.wr_id, callback)
         channel.qp.post_send(wr)
         return wr.wr_id
@@ -289,7 +292,23 @@ class RdmaDevice:
         """One CQ poller of the device's thread pool."""
         while True:
             yield cq.wait()
+            tracer = self.host.cluster.tracer
+            woke_at = self.sim.now
+            depth = len(cq)
+            drained = 0
             for completion in cq.poll(max_entries=64):
+                drained += 1
                 callback = self._callbacks.pop(completion.wr_id, None)
                 if callback is not None:
                     callback(completion)
+            if tracer is not None and drained:
+                # Callbacks never yield, so the drain itself is
+                # instantaneous in simulated time: a zero-duration span
+                # still marks the wake on the poller's timeline.
+                tracer.record(
+                    "cq_poll", f"drain {drained}", self.host.name,
+                    f"cq:{cq.cq_id}", woke_at, self.sim.now,
+                    args={"depth_at_wake": depth, "drained": drained})
+                tracer.metrics.histogram("cq_depth_at_wake").observe(depth)
+                tracer.metrics.histogram(
+                    "cq_completions_per_wake").observe(drained)

@@ -101,6 +101,10 @@ class RdmaCommRuntime(CommRuntime):
         # One registration for the whole arena; recorded so ablations
         # can compare against per-tensor registration.
         self.registration_seconds += cost.mr_register_time(plan.arena_size)
+        span_tracer = host.cluster.tracer
+        if span_tracer is not None:
+            span_tracer.metrics.counter("arena_bytes_registered").add(
+                plan.arena_size)
 
         if self.zero_copy:
             tracer = AllocationSiteTracer(executor)
@@ -147,6 +151,8 @@ class RdmaCommRuntime(CommRuntime):
         self._bind_senders(session)
 
     def _bind_senders(self, session) -> None:
+        collective_edges = getattr(session.partitioned.original,
+                                   "collective_edges", frozenset())
         for edge in session.partitioned.transfers:
             executor = session.executors[edge.src_device]
             device = self.devices[edge.src_device]
@@ -163,16 +169,20 @@ class RdmaCommRuntime(CommRuntime):
             descriptor = session.sim.run_until_complete(fetch)
             graph = session.partitioned.subgraphs[edge.src_device]
             if static:
+                role = ("collective-chunk" if edge.key in collective_edges
+                        else "static-write")
                 self.senders[edge.key] = StaticSender(
                     channel=channel, remote=descriptor,
                     nbytes=edge.nbytes_static, arena=arena,
-                    arena_region=region, state=self.state)
+                    arena_region=region, state=self.state,
+                    role=role, key=edge.key)
             else:
                 send_node = graph.node(edge.send_node)
                 ndims = send_node.inputs[0].shape.rank
                 self.senders[edge.key] = DynamicSender(
                     channel=channel, meta_slot=descriptor, ndims=ndims,
-                    arena=arena, arena_region=region, state=self.state)
+                    arena=arena, arena_region=region, state=self.state,
+                    key=edge.key)
 
     def _qp_for(self, key: str) -> int:
         # crc32 rather than hash(): Python string hashing is salted

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, List, Optional
 
+from ..observability.tracer import protocol_track
 from ..graph.allocator import ArenaAllocator
 from ..graph.dtypes import DType
 from ..graph.executor import Executor
@@ -58,19 +59,38 @@ def _in_region(tensor: Tensor, region: Optional[MemRegion]) -> bool:
     return region is not None and tensor.buffer is region.buffer
 
 
+def _account_serialization(executor: Executor, start: float,
+                           name: str) -> None:
+    """Attribute CPU-side copy/pack time on the device's protocol track.
+
+    Staging copies and metadata packing run in sender processes that
+    overlap the executor's own timeline, so they are accounted on the
+    *protocol* track — the stall report shows them as overlapped work
+    rather than adding them to the executor's exact time budget.
+    """
+    tracer = executor.host.cluster.tracer
+    if tracer is not None:
+        tracer.account(executor.host.name, protocol_track(executor.device),
+                       executor.iteration, "serialization", start,
+                       executor.sim.now, name=name)
+
+
 class StaticSender:
     """Sender half of the static-placement protocol for one edge."""
 
     def __init__(self, channel: RdmaChannel, remote: RemoteMemRegion,
                  nbytes: int, arena: ArenaAllocator, arena_region: MemRegion,
                  state: TransferState,
-                 staging_delay: Callable[[int], float] = None) -> None:
+                 staging_delay: Callable[[int], float] = None,
+                 role: str = "static-write", key: str = "") -> None:
         self.channel = channel
         self.remote = remote
         self.nbytes = nbytes
         self.arena = arena
         self.arena_region = arena_region
         self.state = state
+        self.role = role
+        self.key = key
         if remote.size < nbytes + 1:
             raise DeviceError(
                 f"remote region of {remote.size} bytes cannot hold "
@@ -95,6 +115,7 @@ class StaticSender:
             # RDMA.cp path: extra allocation + copy into registered memory.
             staging_offset = self.arena.allocate_block(self.nbytes)
             local_addr = self.arena_region.addr + staging_offset
+            staging_start = executor.sim.now
             yield executor.sim.timeout(
                 executor.cost.malloc_time(self.nbytes))
             # The staging copy is CPU work contending with every other
@@ -102,6 +123,7 @@ class StaticSender:
             # zero-copy placement removes).
             yield from executor.host.cpu.run(
                 executor.cost.memcpy_time(self.nbytes))
+            _account_serialization(executor, staging_start, "staging-copy")
             if tensor.is_dense:
                 self.arena_region.buffer.backing.write(
                     staging_offset, tensor.array.tobytes())
@@ -111,21 +133,34 @@ class StaticSender:
         # FIFO order plus ascending-address commit give the paper's
         # "flag is the last byte delivered" guarantee.
         wr_local_region = _RegionRef(self.arena_region, local_addr)
+        proto_start = executor.sim.now
         self.channel.memcpy(
             local_addr=local_addr, local_region=wr_local_region,
             remote_addr=self.remote.addr, remote_region=self.remote,
-            size=self.nbytes, direction=Direction.LOCAL_TO_REMOTE)
+            size=self.nbytes, direction=Direction.LOCAL_TO_REMOTE,
+            role=self.role)
         flag_event = self.channel.memcpy_event(
             local_addr=0, local_region=None,
             remote_addr=self.remote.addr + self.nbytes,
             remote_region=self.remote,
             size=1, direction=Direction.LOCAL_TO_REMOTE,
-            inline_data=FLAG_SET)
+            inline_data=FLAG_SET, role=self.role)
         done = executor.sim.event()
+        tracer = executor.host.cluster.tracer
+        hostname = executor.host.name
+        track = protocol_track(executor.device)
 
         def on_flag(event: Event) -> None:
             if staging_offset is not None:
                 self.arena.free_block(staging_offset)
+            if tracer is not None:
+                category = ("collective" if self.role == "collective-chunk"
+                            else "protocol")
+                tracer.record(
+                    category, self.key or f"static {self.nbytes}B",
+                    hostname, track, proto_start, executor.sim.now,
+                    args={"nbytes": self.nbytes, "role": self.role,
+                          "phase": "write+flag"})
             if event._exception is not None:
                 done.fail(event._exception)
             else:
@@ -174,13 +209,14 @@ class DynamicSender:
 
     def __init__(self, channel: RdmaChannel, meta_slot: RemoteMemRegion,
                  ndims: int, arena: ArenaAllocator, arena_region: MemRegion,
-                 state: TransferState) -> None:
+                 state: TransferState, key: str = "") -> None:
         self.channel = channel
         self.meta_slot = meta_slot
         self.ndims = ndims
         self.arena = arena
         self.arena_region = arena_region
         self.state = state
+        self.key = key
         expected = TensorMeta.slot_size(ndims)
         if meta_slot.size < expected:
             raise DeviceError(
@@ -200,10 +236,12 @@ class DynamicSender:
         if not zero_copy:
             staging_offset = self.arena.allocate_block(max(tensor.nbytes, 1))
             source_addr = self.arena_region.addr + staging_offset
+            staging_start = executor.sim.now
             yield executor.sim.timeout(
                 executor.cost.malloc_time(tensor.nbytes))
             yield from executor.host.cpu.run(
                 executor.cost.memcpy_time(tensor.nbytes))
+            _account_serialization(executor, staging_start, "staging-copy")
             if tensor.is_dense:
                 self.arena_region.buffer.backing.write(
                     staging_offset, tensor.array.tobytes())
@@ -226,17 +264,34 @@ class DynamicSender:
         # the protocol's extra overhead versus static placement.  It is
         # a fixed struct, not a general serializer: near-memcpy cost.
         encoded = meta.encode() + FLAG_SET
+        pack_start = executor.sim.now
         yield executor.sim.timeout(
             executor.cost.memcpy_time(len(encoded)))
+        _account_serialization(executor, pack_start, "meta-pack")
+        proto_start = executor.sim.now
         event = self.channel.memcpy_event(
             local_addr=0, local_region=None,
             remote_addr=self.meta_slot.addr, remote_region=self.meta_slot,
             size=len(encoded), direction=Direction.LOCAL_TO_REMOTE,
-            inline_data=encoded)
+            inline_data=encoded, role="dynamic-metadata")
         done = executor.sim.event()
-        event.add_callback(
-            lambda e: done.fail(e._exception) if e._exception is not None
-            else done.succeed([]))
+        tracer = executor.host.cluster.tracer
+        hostname = executor.host.name
+        track = protocol_track(executor.device)
+
+        def on_meta(e: Event) -> None:
+            if tracer is not None:
+                tracer.record(
+                    "protocol", self.key or "dynamic-meta", hostname, track,
+                    proto_start, executor.sim.now,
+                    args={"nbytes": len(encoded),
+                          "role": "dynamic-metadata",
+                          "phase": "metadata-write"})
+            if e._exception is not None:
+                done.fail(e._exception)
+            else:
+                done.succeed([])
+        event.add_callback(on_meta)
         return Outcome.wait(done)
 
     def _release_staging(self) -> None:
@@ -274,9 +329,11 @@ class DynamicReceiver:
 
             def fetch() -> Generator:
                 # Unpack metadata (fixed struct), allocate, pull payload.
+                unpack_start = executor.sim.now
                 yield executor.sim.timeout(
                     executor.cost.memcpy_time(len(raw))
                     + executor.cost.malloc_time(meta.data_nbytes))
+                _account_serialization(executor, unpack_start, "meta-unpack")
                 # The previous mini-batch's dynamically allocated tensor
                 # is dead by now (iteration barrier) — reclaim it so the
                 # arena footprint stays bounded (§3.2's "reduced memory
@@ -289,13 +346,24 @@ class DynamicReceiver:
                 remote = RemoteMemRegion(addr=meta.remote_addr,
                                          rkey=meta.remote_rkey,
                                          size=meta.data_nbytes)
+                read_start = executor.sim.now
                 read_done = self.channel.memcpy_event(
                     local_addr=tensor.addr,
                     local_region=_RegionRef(self.arena_region, tensor.addr),
                     remote_addr=meta.remote_addr, remote_region=remote,
                     size=meta.data_nbytes,
-                    direction=Direction.REMOTE_TO_LOCAL)
+                    direction=Direction.REMOTE_TO_LOCAL,
+                    role="dynamic-payload-read")
                 yield read_done
+                tracer = executor.host.cluster.tracer
+                if tracer is not None:
+                    tracer.record(
+                        "protocol", f"payload-read {meta.data_nbytes}B",
+                        executor.host.name, protocol_track(executor.device),
+                        read_start, executor.sim.now,
+                        args={"nbytes": meta.data_nbytes,
+                              "role": "dynamic-payload-read",
+                              "phase": "payload-read"})
                 if extra_delay > 0:
                     yield executor.sim.timeout(extra_delay)
                 return [tensor]

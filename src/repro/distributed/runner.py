@@ -18,6 +18,9 @@ from typing import Dict, Optional, Tuple
 
 from ..core.rdma_comm import RdmaCommRuntime
 from ..graph.session import RunStats, Session
+from ..observability.capture import capture_enabled, capture_run
+from ..observability.stall import StallReport, build_stall_report
+from ..observability.tracer import Tracer
 from ..graph.transfer_api import CommRuntime, NullComm
 from ..models.spec import ModelSpec
 from ..simnet.costmodel import CostModel
@@ -139,6 +142,8 @@ class BenchmarkResult:
     predicted_wire_bytes: Optional[float] = None
     #: wire-transfer records, populated when ``collect_metrics=True``
     metrics: Optional[MetricsCollector] = None
+    #: span tracer, populated when the run was traced
+    tracer: Optional[Tracer] = None
     #: simulated hosts carrying workers (for per-worker accounting)
     worker_hosts: Tuple[str, ...] = field(default_factory=tuple)
 
@@ -176,6 +181,12 @@ class BenchmarkResult:
             for host in self.worker_hosts)
         return total / (len(self.worker_hosts) * steady_iterations)
 
+    def stall_report(self) -> Optional[StallReport]:
+        """Per-iteration stall attribution; None unless the run was traced."""
+        if self.tracer is None:
+            return None
+        return build_stall_report(self.tracer)
+
 
 def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            num_servers: int, batch_size: int,
@@ -186,6 +197,7 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            strategy: str = "ps",
                            fusion_bytes: Optional[int] = None,
                            collect_metrics: bool = False,
+                           collect_trace: bool = False,
                            time_limit: float = 36000.0) -> BenchmarkResult:
     """Run one (model, mechanism, scale, batch) configuration.
 
@@ -193,6 +205,11 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
     ``mechanism`` string is still used for labeling.  gRPC.RDMA crashes
     (oversized messages, §5.1/§5.2) are captured as a crashed result
     rather than raising, mirroring how the paper reports them.
+
+    ``collect_trace`` enables the observability layer for this run;
+    tracing also turns on automatically while a harness capture sink is
+    configured (``--trace-out``/``--metrics-json``), and traced runs
+    register themselves with that sink.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
@@ -212,7 +229,10 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
             algorithm=strategy, **kwargs)
         predicted = job.bytes_per_worker_per_step
     cluster = Cluster(1 if local else num_servers, cost=cost)
-    collector = cluster.enable_metrics() if collect_metrics else None
+    tracing = collect_trace or capture_enabled()
+    collector = (cluster.enable_metrics()
+                 if collect_metrics or tracing else None)
+    tracer = cluster.enable_tracing() if tracing else None
     device_hosts = {}
     for device in job.devices:
         if device == "local0":
@@ -234,10 +254,20 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                                crashed=True, crash_reason=str(exc),
                                strategy=strategy,
                                predicted_wire_bytes=predicted,
-                               metrics=collector,
+                               metrics=collector, tracer=tracer,
                                worker_hosts=worker_hosts)
+    if tracer is not None:
+        capture_run(
+            label=(f"{spec.name}/{mechanism}/{strategy}/"
+                   f"n{num_servers}/b{batch_size}"),
+            tracer=tracer,
+            meta={"model": spec.name, "mechanism": mechanism,
+                  "strategy": strategy, "num_servers": num_servers,
+                  "batch_size": batch_size, "iterations": iterations,
+                  "step_time": stats.steady_state_time})
     return BenchmarkResult(model=spec.name, mechanism=mechanism,
                            num_servers=num_servers, batch_size=batch_size,
                            stats=stats, strategy=strategy,
                            predicted_wire_bytes=predicted,
-                           metrics=collector, worker_hosts=worker_hosts)
+                           metrics=collector, tracer=tracer,
+                           worker_hosts=worker_hosts)

@@ -25,6 +25,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
+from ..observability.tracer import executor_track
 from ..simnet.simulator import Event, Simulator
 from ..simnet.topology import Host
 from .allocator import ArenaAllocator, BaseAllocator, HostAllocator
@@ -146,6 +147,15 @@ class Executor:
         #: after a full sweep of the pollers has missed, so one wake-up
         #: (arriving data) gets every flag checked, not just one
         sweep_misses = 0
+        # Every yield below is bracketed with tracer.account() so the
+        # per-category sums partition this iteration's wall time exactly
+        # (sim time only advances across yields) — the invariant the
+        # stall-attribution report depends on.
+        tracer = self.host.cluster.tracer
+        track = executor_track(self.device)
+        hostname = self.host.name
+        iteration = self.iteration
+        polls_since_park = 0
 
         def finish(node: Node, outputs: List[Tensor]) -> None:
             nonlocal completed
@@ -165,17 +175,34 @@ class Executor:
                     raise ExecutorError(
                         f"executor {self.device} stalled at "
                         f"{completed}/{total} nodes")
+                t0 = self.sim.now
                 yield self._wait_for_wake()
+                if tracer is not None:
+                    tracer.account(hostname, track, iteration, "wire_wait",
+                                   t0, self.sim.now)
                 continue
             node = ready.popleft()
+            t0 = self.sim.now
             yield self.sim.timeout(self.cost.sched_dispatch)
+            if tracer is not None:
+                tracer.account(hostname, track, iteration, "sched",
+                               t0, self.sim.now, emit=False)
 
             if node.name in polling:
                 outcome = polling[node.name]
+                t0 = self.sim.now
                 yield self.sim.timeout(self.cost.poll_check)
+                if tracer is not None:
+                    tracer.account(hostname, track, iteration, "poll",
+                                   t0, self.sim.now, emit=False)
+                    polls_since_park += 1
                 if not outcome.poll():
                     self.poll_misses += 1
+                    t0 = self.sim.now
                     yield self.sim.timeout(self.cost.poll_requeue)
+                    if tracer is not None:
+                        tracer.account(hostname, track, iteration, "poll",
+                                       t0, self.sim.now, emit=False)
                     ready.append(node)
                     sweep_misses += 1
                     if (sweep_misses >= len(ready)
@@ -184,7 +211,15 @@ class Executor:
                         # A whole sweep of pollers missed and nothing
                         # else is runnable: idle with growing backoff so
                         # polling does not monopolize the simulated CPU.
+                        t0 = self.sim.now
                         yield self._wait_for_wake(timeout=idle_backoff)
+                        if tracer is not None:
+                            tracer.account(hostname, track, iteration,
+                                           "poll_wait", t0, self.sim.now)
+                            tracer.metrics.histogram(
+                                "poll_iterations_per_wake").observe(
+                                    polls_since_park)
+                            polls_since_park = 0
                         idle_backoff = min(idle_backoff * 2, _IDLE_BACKOFF_MAX)
                         sweep_misses = 0
                     continue
@@ -194,7 +229,12 @@ class Executor:
                 in_flight -= 1
                 next_outcome = outcome.complete()
             else:
+                t0 = self.sim.now
                 next_outcome = yield from self._execute(node, feeds)
+                if tracer is not None:
+                    tracer.account(hostname, track, iteration, "op",
+                                   t0, self.sim.now,
+                                   name=f"{node.op_type}:{node.name}")
 
             if next_outcome.kind == "sync":
                 self.ops_executed += 1

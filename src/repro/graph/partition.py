@@ -18,6 +18,16 @@ from .node import Graph, GraphError, Node, NodeOutput
 from .ops import infer_shapes
 
 
+def transfer_key(src_name: str, src_index: int, dst_device: str) -> str:
+    """Rendezvous key of the cut edge ``src_name:src_index -> dst_device``.
+
+    The single definition of the key format — collective builders use
+    it to pre-label edges (``Graph.collective_edges``) that partitioning
+    will later discover, so the two sides cannot drift apart.
+    """
+    return f"{src_name}:{src_index}->{dst_device}"
+
+
 @dataclass(frozen=True)
 class TransferEdge:
     """One cross-device tensor transfer discovered by partitioning."""
@@ -104,7 +114,7 @@ def _insert_transfer(result: PartitionedGraph, placed: Dict[str, Node],
     """Create the _Send/_Recv pair for one cut edge; returns recv output."""
     src_graph = result.subgraphs[src_device]
     dst_graph = result.subgraphs[dst_device]
-    key = f"{src.node.name}:{src.index}->{dst_device}"
+    key = transfer_key(src.node.name, src.index, dst_device)
 
     producer = placed[src.node.name].output(src.index)
     send_name = src_graph.unique_name(f"send/{key}")

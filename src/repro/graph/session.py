@@ -32,6 +32,9 @@ class RunStats:
     #: consumers window on "after warm-up" without re-deriving offsets
     iteration_end_times: List[float] = field(default_factory=list)
     total_time: float = 0.0
+    #: snapshot of the tracer's metrics registry (counters/histograms),
+    #: populated when the cluster ran with tracing enabled
+    observability: Optional[Dict] = None
 
     @property
     def mean_iteration_time(self) -> float:
@@ -115,7 +118,12 @@ class Session:
             _ = barrier.value  # surface executor exceptions
             stats.iteration_times.append(self.sim.now - start)
             stats.iteration_end_times.append(self.sim.now)
+            if self.cluster.tracer is not None:
+                self.cluster.tracer.mark_iteration(iteration, start,
+                                                   self.sim.now)
         stats.total_time = self.sim.now - start_total
+        if self.cluster.tracer is not None:
+            stats.observability = self.cluster.tracer.metrics.to_dict()
         return stats
 
     # -- inspection ------------------------------------------------------------------------

@@ -14,6 +14,8 @@ import sys
 import time
 
 from ..distributed.runner import MECHANISMS, configure_comm
+from ..observability.capture import (configure_capture, flush_capture,
+                                     reset_capture)
 from .experiments import ALL_EXPERIMENTS, run_all
 
 
@@ -35,22 +37,41 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", choices=MECHANISMS, default=None,
                         help="transfer mechanism used where an experiment "
                              "asks for the configured default")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a merged Chrome trace_event JSON of "
+                             "every benchmark run (open in Perfetto)")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write per-run counters/histograms and the "
+                             "stall-attribution report as JSON")
     args = parser.parse_args(argv)
 
     configure_comm(num_cqs=args.num_cqs,
                    num_qps_per_peer=args.qps_per_peer,
                    backend=args.backend)
+    capturing = args.trace_out is not None or args.metrics_json is not None
+    if capturing:
+        configure_capture(trace_out=args.trace_out,
+                          metrics_json=args.metrics_json)
 
-    if args.experiments:
-        selected = {name: ALL_EXPERIMENTS[name] for name in args.experiments}
-        results = {}
-        for name, fn in selected.items():
-            started = time.time()
-            results[name] = fn()
-            print(f"[{name} regenerated in {time.time() - started:.1f}s]",
-                  file=sys.stderr)
-    else:
-        results = run_all(fast=not args.full)
+    try:
+        if args.experiments:
+            selected = {name: ALL_EXPERIMENTS[name]
+                        for name in args.experiments}
+            results = {}
+            for name, fn in selected.items():
+                started = time.time()
+                results[name] = fn()
+                print(f"[{name} regenerated in {time.time() - started:.1f}s]",
+                      file=sys.stderr)
+        else:
+            results = run_all(fast=not args.full)
+
+        if capturing:
+            for kind, path in flush_capture().items():
+                print(f"[{kind} written to {path}]", file=sys.stderr)
+    finally:
+        if capturing:
+            reset_capture()
 
     for result in results.values():
         print(result.render())

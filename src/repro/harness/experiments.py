@@ -302,6 +302,57 @@ def extension_allreduce(models: Sequence[str] = ("FCN-5", "VGGNet-16"),
     return result
 
 
+def stallreport(model: str = "FCN-5", num_servers: int = 2,
+                batch_size: int = 32, iterations: int = 3,
+                strategy: str = "ring",
+                mechanism: str = "RDMA") -> ExperimentResult:
+    """Observability demo: per-iteration stall attribution (Figure-8 style).
+
+    Runs one traced benchmark and decomposes each iteration's wall time
+    into the critical-path executor's op / poll / poll-wait / wire-wait
+    components.  This is also the cheap single-configuration target the
+    ``--trace-out``/``--metrics-json`` capture recipe (EXPERIMENTS.md)
+    and the CI smoke step use: one run exercises the executor, transfer
+    protocol, collective, verb, and CQ-poller layers.
+    """
+    result = ExperimentResult(
+        experiment="Stall report",
+        title=(f"Per-iteration stall attribution: {model}/{mechanism}/"
+               f"{strategy}, {num_servers} servers, batch {batch_size}"),
+        columns=["iteration", "measured_ms", "op_ms", "poll_ms",
+                 "poll_wait_ms", "wire_wait_ms", "sched_ms",
+                 "coverage_pct", "overlapped_serialization_ms"])
+    bench = run_training_benchmark(
+        get_model(model), mechanism, num_servers=num_servers,
+        batch_size=batch_size, iterations=iterations, strategy=strategy,
+        collect_trace=True)
+    if bench.crashed:
+        result.note(f"benchmark crashed: {bench.crash_reason[:120]}")
+        return result
+    report = bench.stall_report()
+    for it in report.iterations:
+        comp = it.components
+        result.add_row(
+            it.iteration, round(it.duration * 1e3, 3),
+            round(comp.get("op", 0.0) * 1e3, 3),
+            round(comp.get("poll", 0.0) * 1e3, 3),
+            round(comp.get("poll_wait", 0.0) * 1e3, 3),
+            round(comp.get("wire_wait", 0.0) * 1e3, 3),
+            round(comp.get("sched", 0.0) * 1e3, 3),
+            round(it.coverage * 100, 2),
+            round(it.overlapped_serialization * 1e3, 3))
+    fractions = report.fractions()
+    if fractions:
+        share = ", ".join(f"{cat}={frac * 100:.1f}%"
+                          for cat, frac in sorted(fractions.items()))
+        result.note(f"critical-path stall shares: {share}")
+    counts = bench.tracer.categories()
+    result.note("span categories: "
+                + ", ".join(f"{cat}={n}"
+                            for cat, n in sorted(counts.items())))
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -312,6 +363,7 @@ ALL_EXPERIMENTS = {
     "figure12": figure12,
     "table3": table3,
     "allreduce": extension_allreduce,
+    "stallreport": stallreport,
 }
 
 
@@ -333,5 +385,6 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
             "allreduce": extension_allreduce(
                 models=("FCN-5",), server_counts=(4,),
                 mechanisms=("RDMA",), iterations=3),
+            "stallreport": stallreport(),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

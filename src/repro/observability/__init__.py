@@ -1,0 +1,45 @@
+"""End-to-end tracing and profiling for the simulated stack.
+
+The evaluation of a "where does the time go" paper rests on being able
+to decompose an iteration into compute, serialization, wire transit,
+and poll-wait — this package provides that decomposition as a
+first-class subsystem instead of ad-hoc prints:
+
+* :class:`Tracer` — timestamped spans (clocked by ``Simulator.now``)
+  from every layer: executor op execution and park/wake cycles, RDMA
+  verb issue/complete, CQ polling, tensor-transfer protocol phases,
+  and collective fragment hops.  Enabled per cluster via
+  ``Cluster.enable_tracing()``; when disabled every instrumented fast
+  path pays a single attribute check (the ``MetricsCollector``
+  pattern).
+* :class:`MetricsRegistry` — counters and histograms (transfer-size
+  distribution, poll iterations per wake, CQ depth, arena bytes
+  registered) attached to the tracer and merged into ``RunStats``.
+* :mod:`~repro.observability.chrome_trace` — Chrome ``trace_event``
+  JSON export viewable in Perfetto: one process per simulated host,
+  one thread per executor / CQ poller / protocol track.
+* :class:`StallReport` — the per-iteration stall attribution
+  (compute / wire / poll-wait / serialization), i.e. a programmatic
+  Figure-8-style breakdown whose components sum to the measured
+  iteration time by construction.
+* :mod:`~repro.observability.capture` — the harness-facing sink behind
+  ``--trace-out`` / ``--metrics-json``.
+"""
+
+from .chrome_trace import (chrome_trace_events, to_chrome_trace,
+                           write_chrome_trace)
+from .registry import Counter, Histogram, MetricsRegistry
+from .stall import StallReport, build_stall_report
+from .tracer import (CATEGORIES, EXECUTOR_CATEGORIES, Span, Tracer,
+                     executor_track, protocol_track)
+from .capture import (capture_enabled, capture_run, configure_capture,
+                      flush_capture, reset_capture)
+
+__all__ = [
+    "CATEGORIES", "Counter", "EXECUTOR_CATEGORIES", "Histogram",
+    "MetricsRegistry", "Span", "StallReport", "Tracer",
+    "build_stall_report", "capture_enabled", "capture_run",
+    "chrome_trace_events", "configure_capture", "executor_track",
+    "flush_capture", "protocol_track", "reset_capture", "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,80 @@
+"""Harness-facing capture sink behind ``--trace-out``/``--metrics-json``.
+
+Benchmark entry points are several layers below the CLI (experiment ->
+series -> ``run_training_benchmark``), and one harness invocation may
+execute many benchmark configurations.  Rather than thread output
+paths through every signature, the CLI configures a module-level sink
+(the same pattern as ``CommConfig`` in ``distributed/runner.py``);
+each traced run registers itself with a label, and ``flush_capture``
+writes one merged Chrome trace (runs separated into disjoint pid
+ranges) plus one metrics/stall JSON document at the end.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .chrome_trace import chrome_trace_events, write_merged_trace
+from .stall import build_stall_report
+from .tracer import Tracer
+
+_PID_STRIDE = 100  # max hosts per run in the merged trace
+
+_trace_out: Optional[str] = None
+_metrics_json: Optional[str] = None
+_events: List[dict] = []
+_runs: List[Dict[str, object]] = []
+
+
+def configure_capture(trace_out: Optional[str] = None,
+                      metrics_json: Optional[str] = None) -> None:
+    """Set (or clear) the output paths; resets any buffered runs."""
+    global _trace_out, _metrics_json
+    _trace_out = trace_out
+    _metrics_json = metrics_json
+    _events.clear()
+    _runs.clear()
+
+
+def capture_enabled() -> bool:
+    """True when some output path is configured — runs should trace."""
+    return _trace_out is not None or _metrics_json is not None
+
+
+def capture_run(label: str, tracer: Tracer,
+                meta: Optional[Dict[str, object]] = None) -> None:
+    """Buffer one traced run's spans and metrics under ``label``."""
+    if not capture_enabled():
+        return
+    if _trace_out is not None:
+        pid_base = 1 + len(_runs) * _PID_STRIDE
+        _events.extend(chrome_trace_events(tracer, pid_base=pid_base,
+                                           label=label))
+    entry: Dict[str, object] = {
+        "label": label,
+        "metrics": tracer.metrics.to_dict(),
+        "stall": build_stall_report(tracer).to_dict(),
+        "span_counts": tracer.categories(),
+    }
+    if meta:
+        entry["meta"] = dict(meta)
+    _runs.append(entry)
+
+
+def flush_capture() -> Dict[str, str]:
+    """Write the configured files; returns {kind: path} for what was written."""
+    written: Dict[str, str] = {}
+    if _trace_out is not None:
+        write_merged_trace(list(_events), _trace_out)
+        written["trace"] = _trace_out
+    if _metrics_json is not None:
+        with open(_metrics_json, "w") as handle:
+            json.dump({"runs": _runs}, handle, indent=2)
+        written["metrics"] = _metrics_json
+    return written
+
+
+def reset_capture() -> None:
+    """Clear configuration and buffers (used by tests)."""
+    configure_capture(None, None)

@@ -1,0 +1,84 @@
+"""Chrome ``trace_event`` JSON export (viewable in Perfetto).
+
+The mapping follows the trace-event format's process/thread model:
+every simulated host becomes a *process* (``pid``), every tracer track
+within it (executor, CQ poller, NIC queue pair, protocol engine) a
+*thread* (``tid``).  Spans export as complete (``"ph": "X"``) events
+with microsecond timestamps — the trace-event clock unit — derived
+from the simulator's second-denominated clock.
+
+``chrome_trace_events`` takes a ``pid_base``/``label`` so several runs
+(one per benchmark configuration in a harness sweep) can be merged
+into a single file without pid collisions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .tracer import Tracer
+
+
+_US = 1e6  # simulator seconds -> trace microseconds
+
+
+def chrome_trace_events(tracer: Tracer, pid_base: int = 1,
+                        label: str = "") -> List[dict]:
+    """Convert a tracer's spans to a flat trace-event list."""
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    events: List[dict] = []
+    prefix = f"{label}/" if label else ""
+
+    for host, track in tracer.tracks():
+        if host not in pids:
+            pid = pids[host] = pid_base + len(pids)
+            events.append({"ph": "M", "pid": pid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": f"{prefix}{host}"}})
+        key = (host, track)
+        if key not in tids:
+            tid = tids[key] = 1 + sum(1 for k in tids if k[0] == host)
+            events.append({"ph": "M", "pid": pids[host], "tid": tid,
+                           "name": "thread_name", "args": {"name": track}})
+
+    for span in tracer.spans:
+        event = {
+            "ph": "X",
+            "pid": pids[span.host],
+            "tid": tids[(span.host, span.track)],
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+            "cat": span.category,
+            "name": span.name,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, label: str = "") -> dict:
+    """The full JSON-object form of the trace file."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, label=label),
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.observability",
+                      "clock": "simulated"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       label: str = "") -> None:
+    """Serialize the trace to ``path`` (overwrites)."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer, label=label), handle)
+
+
+def write_merged_trace(events: List[dict], path: str) -> None:
+    """Write an already-merged multi-run event list to ``path``."""
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms",
+                   "otherData": {"generator": "repro.observability",
+                                 "clock": "simulated"}}, handle)

@@ -1,0 +1,122 @@
+"""Counters and histograms for the observability layer.
+
+Deliberately tiny: a :class:`Counter` is one float, a
+:class:`Histogram` keeps its raw observations (simulated runs record
+thousands of samples, not billions, so exact percentiles are cheaper
+than maintaining bucket boundaries).  Everything serializes to plain
+dicts for the ``--metrics-json`` export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A named distribution with exact quantiles over raw samples."""
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile (nearest-rank); ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of [0, 100]")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(0, min(len(self._values) - 1,
+                          int(round(p / 100.0 * (len(self._values) - 1)))))
+        return self._values[rank]
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms; created lazily on first use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "histograms": {name: h.to_dict()
+                           for name, h in sorted(self.histograms.items())},
+        }

@@ -1,0 +1,178 @@
+"""Per-iteration stall attribution — a programmatic Figure-8.
+
+The executor brackets every ``yield`` in its iteration loop and routes
+the elapsed simulated time through ``Tracer.account()``, so for each
+(host, executor track, iteration) the category sums partition the
+executor's wall time exactly.  An iteration ends when its *slowest*
+executor finishes (the session barrier), so that executor's breakdown
+*is* the iteration's: its components sum to the measured iteration
+time to within float rounding.
+
+Protocol-track serialization (staging copies in detached sender
+processes, metadata pack/unpack) happens concurrently with executor
+progress; it is reported as an *overlapped* figure per iteration, not
+added to the timeline sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .tracer import EXECUTOR_CATEGORIES, Tracer
+
+
+@dataclass
+class ExecutorBreakdown:
+    """One executor's attributed time within one iteration."""
+
+    host: str
+    track: str
+    iteration: int
+    components: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def fraction(self, category: str) -> float:
+        total = self.total
+        return self.components.get(category, 0.0) / total if total else 0.0
+
+
+@dataclass
+class IterationStall:
+    """Stall attribution for one iteration."""
+
+    iteration: int
+    duration: float                    # measured (session) iteration time
+    executors: List[ExecutorBreakdown]
+    overlapped_serialization: float    # protocol-track work, concurrent
+
+    @property
+    def critical(self) -> Optional[ExecutorBreakdown]:
+        """The slowest executor — the one defining the iteration time."""
+        if not self.executors:
+            return None
+        return max(self.executors, key=lambda e: e.total)
+
+    @property
+    def components(self) -> Dict[str, float]:
+        """The critical executor's category sums (empty if untraced)."""
+        critical = self.critical
+        return dict(critical.components) if critical else {}
+
+    @property
+    def accounted(self) -> float:
+        """Sum of the critical path's components."""
+        return sum(self.components.values())
+
+    @property
+    def coverage(self) -> float:
+        """accounted / measured — the "within 1%" acceptance figure."""
+        return self.accounted / self.duration if self.duration else 0.0
+
+
+@dataclass
+class StallReport:
+    """Stall attribution across all traced iterations."""
+
+    iterations: List[IterationStall] = field(default_factory=list)
+
+    def totals(self) -> Dict[str, float]:
+        """Critical-path category sums across iterations."""
+        out: Dict[str, float] = {}
+        for it in self.iterations:
+            for category, seconds in it.components.items():
+                out[category] = out.get(category, 0.0) + seconds
+        return out
+
+    def fractions(self) -> Dict[str, float]:
+        totals = self.totals()
+        denom = sum(totals.values())
+        if not denom:
+            return {}
+        return {category: seconds / denom
+                for category, seconds in totals.items()}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "totals": self.totals(),
+            "fractions": self.fractions(),
+            "iterations": [
+                {
+                    "iteration": it.iteration,
+                    "duration": it.duration,
+                    "accounted": it.accounted,
+                    "coverage": it.coverage,
+                    "components": it.components,
+                    "overlapped_serialization": it.overlapped_serialization,
+                    "executors": [
+                        {"host": e.host, "track": e.track,
+                         "components": e.components, "total": e.total}
+                        for e in it.executors
+                    ],
+                }
+                for it in self.iterations
+            ],
+        }
+
+    def render(self) -> str:
+        """A fixed-width table, one row per iteration plus totals."""
+        columns = [c for c in EXECUTOR_CATEGORIES
+                   if any(c in it.components for it in self.iterations)]
+        header = (["iter", "measured_ms"]
+                  + [f"{c}_ms" for c in columns]
+                  + ["coverage", "overlap_ser_ms"])
+        rows = [header]
+        for it in self.iterations:
+            rows.append(
+                [str(it.iteration), f"{it.duration * 1e3:.3f}"]
+                + [f"{it.components.get(c, 0.0) * 1e3:.3f}" for c in columns]
+                + [f"{it.coverage * 100:.2f}%",
+                   f"{it.overlapped_serialization * 1e3:.3f}"])
+        totals = self.totals()
+        measured = sum(it.duration for it in self.iterations)
+        accounted = sum(totals.values())
+        rows.append(
+            ["total", f"{measured * 1e3:.3f}"]
+            + [f"{totals.get(c, 0.0) * 1e3:.3f}" for c in columns]
+            + [f"{(accounted / measured * 100) if measured else 0.0:.2f}%",
+               f"{sum(it.overlapped_serialization for it in self.iterations) * 1e3:.3f}"])
+        widths = [max(len(row[i]) for row in rows)
+                  for i in range(len(header))]
+        lines = ["  ".join(cell.rjust(width)
+                           for cell, width in zip(row, widths))
+                 for row in rows]
+        fractions = self.fractions()
+        if fractions:
+            share = ", ".join(f"{c}={fractions[c] * 100:.1f}%"
+                              for c in columns if c in fractions)
+            lines.append(f"stall shares (critical path): {share}")
+        return "\n".join(lines)
+
+
+def build_stall_report(tracer: Tracer) -> StallReport:
+    """Assemble the report from a tracer's accumulators and windows."""
+    report = StallReport()
+    for window in tracer.iteration_windows:
+        executors = [
+            ExecutorBreakdown(host=host, track=track,
+                              iteration=window.iteration,
+                              components=dict(bucket))
+            for (host, track, iteration), bucket in tracer.breakdowns.items()
+            if iteration == window.iteration
+            and track.startswith("executor:")
+        ]
+        executors.sort(key=lambda e: (e.host, e.track))
+        overlapped = sum(
+            bucket.get("serialization", 0.0)
+            for (host, track, iteration), bucket in tracer.breakdowns.items()
+            if iteration == window.iteration
+            and track.startswith("protocol:"))
+        report.iterations.append(
+            IterationStall(iteration=window.iteration,
+                           duration=window.duration,
+                           executors=executors,
+                           overlapped_serialization=overlapped))
+    return report

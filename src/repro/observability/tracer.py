@@ -1,0 +1,185 @@
+"""The tracer: timestamped spans on (host, track) timelines.
+
+A *span* is one interval of simulated time attributed to a category
+("op", "verb", "cq_poll", "collective", ...) on a *track* — the
+equivalent of a thread inside a host's process in the Chrome trace
+model.  Components record spans retrospectively (they know both
+endpoints once the work is booked), so tracing never yields and never
+perturbs simulated timing: a traced run and an untraced run produce
+bit-identical clocks.
+
+Besides the raw span list the tracer keeps **breakdown accumulators**:
+``account()`` adds a span's duration to a per-(host, track, iteration)
+category sum.  The graph executor routes *every* simulated second of
+its iteration through ``account()`` (each ``yield`` is bracketed), so
+the per-iteration category sums add up to the executor's wall time
+exactly — the invariant the stall-attribution report is built on.
+
+High-frequency micro-samples (scheduler dispatch, individual flag-byte
+checks) are accounted but not emitted as spans (``emit=False``); they
+would dominate the trace file while being individually meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .registry import MetricsRegistry
+
+
+#: canonical span categories, by layer
+CATEGORIES = (
+    "op",             # executor: one operator's execution
+    "sched",          # executor: ready-queue pop + dispatch (not emitted)
+    "poll",           # executor: flag-byte checks + requeues (not emitted)
+    "poll_wait",      # executor: parked, all pollers missed (idle backoff)
+    "wire_wait",      # executor: parked, waiting on async completions
+    "verb",           # NIC: one RDMA verb from post to completion
+    "wire",           # NIC/TCP: payload occupancy on the wire
+    "cq_poll",        # device layer: one CQ poller wake + drain
+    "protocol",       # transfer layer: one protocol exchange (§3.2/§3.3)
+    "serialization",  # transfer layer: staging copies, meta pack/unpack
+    "collective",     # collective fragment chunk hop
+    "iteration",      # session: one mini-batch iteration
+)
+
+#: categories the executor attributes its own timeline to; these sum
+#: to the executor's iteration wall time by construction
+EXECUTOR_CATEGORIES = ("op", "sched", "poll", "poll_wait", "wire_wait",
+                       "serialization")
+
+
+def executor_track(device: str) -> str:
+    """Track name of the executor thread for ``device``."""
+    return f"executor:{device}"
+
+
+def protocol_track(device: str) -> str:
+    """Track carrying transfer-protocol phases issued for ``device``."""
+    return f"protocol:{device}"
+
+
+@dataclass
+class Span:
+    """One attributed interval of simulated time."""
+
+    category: str
+    name: str
+    host: str       # Chrome trace "process"
+    track: str      # Chrome trace "thread" within the host
+    start: float
+    end: float
+    args: Optional[Dict[str, object]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class IterationWindow:
+    """Absolute clock bounds of one session iteration."""
+
+    iteration: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Span sink + breakdown accumulators + metrics registry."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.metrics = MetricsRegistry()
+        #: (host, track, iteration) -> {category: seconds}
+        self.breakdowns: Dict[Tuple[str, str, int], Dict[str, float]] = {}
+        self.iteration_windows: List[IterationWindow] = []
+
+    # -- recording -------------------------------------------------------------------
+
+    def record(self, category: str, name: str, host: str, track: str,
+               start: float, end: float,
+               args: Optional[Dict[str, object]] = None) -> Span:
+        """Append one retrospective span; returns it."""
+        span = Span(category=category, name=name, host=host, track=track,
+                    start=start, end=max(end, start), args=args)
+        self.spans.append(span)
+        return span
+
+    def account(self, host: str, track: str, iteration: int, category: str,
+                start: float, end: float, name: Optional[str] = None,
+                emit: bool = True) -> None:
+        """Add ``end - start`` to a per-iteration category sum.
+
+        With ``emit`` the interval is also recorded as a span (skipped
+        for zero-duration intervals); without it only the accumulator
+        moves — used for micro-samples too frequent to plot.
+        """
+        duration = end - start
+        if duration <= 0:
+            return
+        key = (host, track, iteration)
+        bucket = self.breakdowns.get(key)
+        if bucket is None:
+            bucket = self.breakdowns[key] = {}
+        bucket[category] = bucket.get(category, 0.0) + duration
+        if emit:
+            self.record(category, name or category, host, track, start, end,
+                        args={"iteration": iteration})
+
+    def mark_iteration(self, iteration: int, start: float, end: float) -> None:
+        """Record one session iteration's absolute clock window."""
+        self.iteration_windows.append(
+            IterationWindow(iteration=iteration, start=start, end=end))
+        self.record("iteration", f"iteration {iteration}", "cluster",
+                    "iterations", start, end, args={"iteration": iteration})
+
+    # -- queries ---------------------------------------------------------------------
+
+    def tracks(self) -> List[Tuple[str, str]]:
+        """Distinct (host, track) pairs, in first-seen order."""
+        seen: Dict[Tuple[str, str], None] = {}
+        for span in self.spans:
+            seen.setdefault((span.host, span.track), None)
+        return list(seen)
+
+    def spans_by_category(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def categories(self) -> Dict[str, int]:
+        """Span count per category (a quick coverage check)."""
+        out: Dict[str, int] = {}
+        for span in self.spans:
+            out[span.category] = out.get(span.category, 0) + 1
+        return out
+
+    def total(self, category: str) -> float:
+        """Total recorded duration of one category across all spans."""
+        return sum(s.duration for s in self.spans if s.category == category)
+
+    def breakdown(self, host: Optional[str] = None,
+                  track: Optional[str] = None,
+                  iteration: Optional[int] = None) -> Dict[str, float]:
+        """Merged category sums over matching accumulator keys."""
+        out: Dict[str, float] = {}
+        for (h, t, i), bucket in self.breakdowns.items():
+            if host is not None and h != host:
+                continue
+            if track is not None and t != track:
+                continue
+            if iteration is not None and i != iteration:
+                continue
+            for category, seconds in bucket.items():
+                out[category] = out.get(category, 0.0) + seconds
+        return out
+
+    def reset(self) -> None:
+        self.spans = []
+        self.metrics = MetricsRegistry()
+        self.breakdowns = {}
+        self.iteration_windows = []

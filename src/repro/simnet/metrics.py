@@ -27,6 +27,10 @@ class TransferRecord:
     nbytes: int
     start: float
     end: float
+    #: protocol role ("static-write", "dynamic-metadata",
+    #: "dynamic-payload-read", "collective-chunk", "control", or ""),
+    #: separating §3.2 static traffic from §3.3 dynamic traffic
+    role: str = ""
 
     @property
     def duration(self) -> float:
@@ -42,23 +46,35 @@ class MetricsCollector:
     # -- recording -------------------------------------------------------------------
 
     def record_transfer(self, kind: str, src_host: str, dst_host: str,
-                        nbytes: int, start: float, end: float) -> None:
+                        nbytes: int, start: float, end: float,
+                        role: str = "") -> None:
         self.transfers.append(TransferRecord(
             kind=kind, src_host=src_host, dst_host=dst_host,
-            nbytes=nbytes, start=start, end=max(end, start)))
+            nbytes=nbytes, start=start, end=max(end, start), role=role))
 
     def reset(self) -> None:
         self.transfers = []
 
     # -- queries ------------------------------------------------------------------------
 
-    def total_bytes(self, kind: Optional[str] = None) -> int:
+    def total_bytes(self, kind: Optional[str] = None,
+                    role: Optional[str] = None) -> int:
         return sum(t.nbytes for t in self.transfers
-                   if kind is None or t.kind == kind)
+                   if (kind is None or t.kind == kind)
+                   and (role is None or t.role == role))
 
-    def count(self, kind: Optional[str] = None) -> int:
+    def count(self, kind: Optional[str] = None,
+              role: Optional[str] = None) -> int:
         return sum(1 for t in self.transfers
-                   if kind is None or t.kind == kind)
+                   if (kind is None or t.kind == kind)
+                   and (role is None or t.role == role))
+
+    def bytes_by_role(self) -> Dict[str, int]:
+        """Per-protocol-role byte totals (unlabelled traffic under "")."""
+        out: Dict[str, int] = defaultdict(int)
+        for t in self.transfers:
+            out[t.role] += t.nbytes
+        return dict(out)
 
     def bytes_in_window(self, lo: float = 0.0, hi: Optional[float] = None,
                         host: Optional[str] = None,
@@ -141,6 +157,12 @@ class MetricsCollector:
         for kind in kinds:
             lines.append(f"  {kind}: {self.count(kind)} transfers, "
                          f"{self.total_bytes(kind) / 1e6:.1f} MB")
+        roles = self.bytes_by_role()
+        for role, nbytes in sorted(roles.items()):
+            if role:
+                lines.append(f"  role {role}: "
+                             f"{self.count(role=role)} transfers, "
+                             f"{nbytes / 1e6:.1f} MB")
         for host, nbytes in sorted(self.bytes_by_host().items()):
             lines.append(f"  {host} egress: {nbytes / 1e6:.1f} MB")
         return "\n".join(lines)

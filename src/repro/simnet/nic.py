@@ -351,13 +351,15 @@ class RdmaNic:
                                         payload, start, end, head, tail,
                                         wake_host=remote_nic.host)
         self._record(Opcode.WRITE, self.host, remote_nic.host, wr.size,
-                     start, end)
+                     start, end, role=wr.role)
         if wr.signaled:
             done = end + self.cost.rdma_completion_overhead
             comp = Completion(wr_id=wr.wr_id, opcode=Opcode.WRITE,
                               status=WcStatus.SUCCESS, byte_len=wr.size,
                               qp_num=qp.qp_num, timestamp=done)
             self.sim.call_at(done, lambda: qp.send_cq.push(comp))
+        self._trace_verb(qp, wr, end + self.cost.rdma_completion_overhead
+                         if wr.signaled else end)
 
     def _execute_read(self, qp: QueuePair, wr: WorkRequest) -> None:
         remote_qp = qp._require_remote()
@@ -390,13 +392,15 @@ class RdmaNic:
                                         payload, start, end, head, tail,
                                         wake_host=self.host)
         self._record(Opcode.READ, remote_nic.host, self.host, wr.size,
-                     start, end)
+                     start, end, role=wr.role)
         if wr.signaled:
             done = end + self.cost.rdma_completion_overhead
             comp = Completion(wr_id=wr.wr_id, opcode=Opcode.READ,
                               status=WcStatus.SUCCESS, byte_len=wr.size,
                               qp_num=qp.qp_num, timestamp=done)
             self.sim.call_at(done, lambda: qp.send_cq.push(comp))
+        self._trace_verb(qp, wr, end + self.cost.rdma_completion_overhead
+                         if wr.signaled else end)
 
     def _execute_send(self, qp: QueuePair, wr: WorkRequest) -> None:
         remote_qp = qp._require_remote()
@@ -418,7 +422,7 @@ class RdmaNic:
         data = payload if payload is not None else b""
         size = wr.size
         self._record(Opcode.SEND, self.host, remote_qp.nic.host, size,
-                     start, arrival)
+                     start, arrival, role=wr.role)
         self.sim.call_at(
             arrival,
             lambda: remote_qp._incoming_send(wr, data, arrival, head, tail))
@@ -428,13 +432,34 @@ class RdmaNic:
                               status=WcStatus.SUCCESS, byte_len=size,
                               qp_num=qp.qp_num, timestamp=done)
             self.sim.call_at(done, lambda: qp.send_cq.push(comp))
+        self._trace_verb(qp, wr, arrival + self.cost.rdma_completion_overhead
+                         if wr.signaled else arrival)
 
     def _record(self, opcode: Opcode, src_host, dst_host, size: int,
-                start: float, end: float) -> None:
+                start: float, end: float, role: str = "") -> None:
         metrics = src_host.cluster.metrics
         if metrics is not None:
             metrics.record_transfer(opcode.value, src_host.name,
-                                    dst_host.name, size, start, end)
+                                    dst_host.name, size, start, end,
+                                    role=role)
+        tracer = src_host.cluster.tracer
+        if tracer is not None:
+            tracer.record(
+                "wire", f"{opcode.value} {size}B", src_host.name, "nic:wire",
+                start, end,
+                args={"dst": dst_host.name, "nbytes": size, "role": role})
+            tracer.metrics.histogram("transfer_size_bytes").observe(size)
+
+    def _trace_verb(self, qp: QueuePair, wr: WorkRequest,
+                    completed: float) -> None:
+        """Span from verb post to completion delivery on the QP track."""
+        tracer = self.host.cluster.tracer
+        if tracer is not None:
+            tracer.record(
+                "verb", f"{wr.opcode.value} {wr.size}B", self.host.name,
+                f"nic:qp{qp.qp_num}", self.sim.now, completed,
+                args={"wr_id": wr.wr_id, "nbytes": wr.size, "role": wr.role,
+                      "signaled": wr.signaled})
 
     def _schedule_ascending_commit(self, backing: Backing, offset: int, size: int,
                                    payload: Optional[bytes], start: float,

@@ -89,6 +89,14 @@ class Socket:
             metrics.record_transfer("TCP", self.stack.host.name,
                                     peer.stack.host.name, message.size,
                                     sim.now, arrival)
+        tracer = self.stack.host.cluster.tracer
+        if tracer is not None:
+            tracer.record("wire", f"TCP {message.size}B",
+                          self.stack.host.name, "tcp:wire", sim.now, arrival,
+                          args={"dst": peer.stack.host.name,
+                                "nbytes": message.size})
+            tracer.metrics.histogram("transfer_size_bytes").observe(
+                message.size)
         sim.call_at(arrival, lambda: peer.inbox.put(message))
 
     def recv(self) -> Generator:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
+from ..observability.tracer import Tracer
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .cpu import CpuEngine
 from .metrics import MetricsCollector
@@ -84,12 +85,21 @@ class Cluster:
         self.services: Dict[Endpoint, object] = {}
         #: transfer metrics, off unless :meth:`enable_metrics` is called
         self.metrics: Optional[MetricsCollector] = None
+        #: span tracing, off unless :meth:`enable_tracing` is called;
+        #: instrumented fast paths pay one attribute check when None
+        self.tracer: Optional[Tracer] = None
 
     def enable_metrics(self) -> MetricsCollector:
         """Record every wire transfer (see :mod:`repro.simnet.metrics`)."""
         if self.metrics is None:
             self.metrics = MetricsCollector()
         return self.metrics
+
+    def enable_tracing(self) -> Tracer:
+        """Record timestamped spans (see :mod:`repro.observability`)."""
+        if self.tracer is None:
+            self.tracer = Tracer()
+        return self.tracer
 
     def __len__(self) -> int:
         return len(self.hosts)

@@ -57,6 +57,10 @@ class WorkRequest:
     rkey: int = 0
     inline_data: Optional[bytes] = None
     signaled: bool = True
+    #: protocol role the transfer plays ("static-write",
+    #: "dynamic-metadata", "dynamic-payload-read", "collective-chunk",
+    #: "control", ...); carried through to metrics and trace spans
+    role: str = ""
     wr_id: int = field(default_factory=next_wr_id)
 
     def __post_init__(self) -> None:

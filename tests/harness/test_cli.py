@@ -53,3 +53,38 @@ class TestCommFlags:
     def test_invalid_cq_count_rejected(self):
         with pytest.raises(ValueError):
             main(["--num-cqs", "0", "table2"])
+
+
+class TestCaptureFlags:
+    def teardown_method(self):
+        from repro.observability import reset_capture
+        reset_capture()
+
+    def test_trace_and_metrics_written(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "run.trace.json"
+        metrics_path = tmp_path / "run.metrics.json"
+        assert main(["stallreport", "--trace-out", str(trace_path),
+                     "--metrics-json", str(metrics_path)]) == 0
+        err = capsys.readouterr().err
+        assert "trace written to" in err and "metrics written to" in err
+
+        trace = json.loads(trace_path.read_text())
+        assert len(trace["traceEvents"]) > 0
+        categories = {e.get("cat") for e in trace["traceEvents"]
+                      if e.get("ph") == "X"}
+        assert {"op", "cq_poll", "verb", "collective"} <= categories
+
+        metrics = json.loads(metrics_path.read_text())
+        assert len(metrics["runs"]) == 1
+        run = metrics["runs"][0]
+        assert run["metrics"]["counters"]["arena_bytes_registered"] > 0
+        assert run["stall"]["iterations"][0]["coverage"] == \
+            pytest.approx(1.0, abs=0.01)
+
+    def test_capture_state_cleared_after_run(self, capsys, tmp_path):
+        from repro.observability import capture_enabled
+        assert main(["table2", "--metrics-json",
+                     str(tmp_path / "m.json")]) == 0
+        assert not capture_enabled()

@@ -53,7 +53,7 @@ class TestExperimentResult:
     def test_registry_covers_all_tables_and_figures(self):
         assert set(ALL_EXPERIMENTS) == {
             "table2", "figure7", "figure8", "figure9", "figure10",
-            "figure11", "figure12", "table3", "allreduce"}
+            "figure11", "figure12", "table3", "allreduce", "stallreport"}
 
 
 class TestFastExperiments:

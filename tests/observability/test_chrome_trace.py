@@ -1,0 +1,121 @@
+"""Tests for the Chrome trace_event export and the capture sink."""
+
+import json
+
+from repro.observability import (Tracer, chrome_trace_events, to_chrome_trace,
+                                 write_chrome_trace)
+from repro.observability.capture import (capture_enabled, capture_run,
+                                         configure_capture, flush_capture,
+                                         reset_capture)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    tracer.record("op", "MatMul:x", "server0", "executor:worker0", 0.001,
+                  0.003, args={"iteration": 0})
+    tracer.record("verb", "RDMA_WRITE 4096B", "server0", "nic:qp100",
+                  0.002, 0.004)
+    tracer.record("op", "Add:y", "server1", "executor:worker1", 0.001, 0.002)
+    return tracer
+
+
+class TestChromeExport:
+    def test_processes_and_threads(self):
+        events = chrome_trace_events(_sample_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert process_names == {"server0", "server1"}
+        assert thread_names == {"executor:worker0", "nic:qp100",
+                                "executor:worker1"}
+
+    def test_span_events_microseconds(self):
+        events = chrome_trace_events(_sample_tracer())
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3
+        op = next(e for e in spans if e["name"] == "MatMul:x")
+        assert op["ts"] == 1000.0
+        assert op["dur"] == 2000.0
+        assert op["cat"] == "op"
+        assert op["args"] == {"iteration": 0}
+
+    def test_same_host_shares_pid_distinct_tid(self):
+        events = chrome_trace_events(_sample_tracer())
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert spans["MatMul:x"]["pid"] == spans["RDMA_WRITE 4096B"]["pid"]
+        assert spans["MatMul:x"]["tid"] != spans["RDMA_WRITE 4096B"]["tid"]
+        assert spans["MatMul:x"]["pid"] != spans["Add:y"]["pid"]
+
+    def test_pid_base_and_label(self):
+        events = chrome_trace_events(_sample_tracer(), pid_base=101,
+                                     label="runA")
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert pids == {101, 102}
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"runA/server0", "runA/server1"}
+
+    def test_to_chrome_trace_shape(self):
+        trace = to_chrome_trace(_sample_tracer())
+        assert "traceEvents" in trace
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(_sample_tracer(), str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) > 0
+
+
+class TestCaptureSink:
+    def teardown_method(self):
+        reset_capture()
+
+    def test_disabled_by_default(self):
+        reset_capture()
+        assert not capture_enabled()
+        capture_run("x", _sample_tracer())  # no-op, must not raise
+        assert flush_capture() == {}
+
+    def test_merged_multi_run_trace(self, tmp_path):
+        trace_path = tmp_path / "merged.trace.json"
+        metrics_path = tmp_path / "runs.metrics.json"
+        configure_capture(trace_out=str(trace_path),
+                          metrics_json=str(metrics_path))
+        assert capture_enabled()
+        capture_run("run0", _sample_tracer(), meta={"servers": 2})
+        capture_run("run1", _sample_tracer())
+        written = flush_capture()
+        assert set(written) == {"trace", "metrics"}
+
+        trace = json.loads(trace_path.read_text())
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        # Two runs land in disjoint pid ranges.
+        assert pids == {1, 2, 101, 102}
+        labels = {e["args"]["name"] for e in trace["traceEvents"]
+                  if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert "run0/server0" in labels and "run1/server0" in labels
+
+        metrics = json.loads(metrics_path.read_text())
+        assert [r["label"] for r in metrics["runs"]] == ["run0", "run1"]
+        assert metrics["runs"][0]["meta"] == {"servers": 2}
+        assert metrics["runs"][0]["span_counts"]["op"] == 2
+
+    def test_metrics_only_capture(self, tmp_path):
+        metrics_path = tmp_path / "only.metrics.json"
+        configure_capture(metrics_json=str(metrics_path))
+        capture_run("solo", _sample_tracer())
+        written = flush_capture()
+        assert written == {"metrics": str(metrics_path)}
+        assert json.loads(metrics_path.read_text())["runs"][0]["label"] == \
+            "solo"
+
+    def test_configure_resets_buffers(self, tmp_path):
+        trace_path = tmp_path / "t.trace.json"
+        configure_capture(trace_out=str(trace_path))
+        capture_run("old", _sample_tracer())
+        configure_capture(trace_out=str(trace_path))
+        flush_capture()
+        assert json.loads(trace_path.read_text())["traceEvents"] == []

@@ -61,6 +61,69 @@ class TestCollectorQueries:
     def test_record_duration(self):
         record = TransferRecord("TCP", "a", "b", 10, 1.0, 2.5)
         assert record.duration == 1.5
+        assert record.role == ""
+
+    def test_bytes_in_window(self):
+        collector = self._collector()
+        # Starts in [0, 1): only the first RDMA_WRITE and the 0.5 one.
+        assert collector.bytes_in_window(0.0, 1.0) == 1500
+        assert collector.bytes_in_window(0.5) == 700
+        assert collector.bytes_in_window(0.0, 1.0, host="a") == 1500
+        assert collector.bytes_in_window(0.0, None, host="a",
+                                         direction="ingress") == 200
+        assert collector.bytes_in_window(kinds=("TCP",)) == 200
+        with pytest.raises(ValueError):
+            collector.bytes_in_window(direction="sideways")
+
+    def test_timeline_is_sorted(self):
+        buckets = [start for start, _ in self._collector().timeline(0.5)]
+        assert buckets == sorted(buckets)
+
+
+class TestRoleAccounting:
+    def _collector(self):
+        collector = MetricsCollector()
+        collector.record_transfer("RDMA_WRITE", "a", "b", 1000, 0.0, 1.0,
+                                  role="static-write")
+        collector.record_transfer("RDMA_WRITE", "a", "b", 64, 1.0, 1.1,
+                                  role="dynamic-metadata")
+        collector.record_transfer("RDMA_READ", "b", "a", 900, 1.1, 2.0,
+                                  role="dynamic-payload-read")
+        collector.record_transfer("RDMA_WRITE", "b", "c", 500, 2.0, 2.5,
+                                  role="collective-chunk")
+        collector.record_transfer("SEND", "a", "b", 32, 0.0, 0.1)
+        return collector
+
+    def test_bytes_by_role(self):
+        assert self._collector().bytes_by_role() == {
+            "static-write": 1000, "dynamic-metadata": 64,
+            "dynamic-payload-read": 900, "collective-chunk": 500, "": 32}
+
+    def test_role_filters(self):
+        collector = self._collector()
+        assert collector.total_bytes(role="static-write") == 1000
+        assert collector.count(role="collective-chunk") == 1
+        assert collector.total_bytes("RDMA_WRITE",
+                                     role="dynamic-metadata") == 64
+        assert collector.count(role="missing") == 0
+
+    def test_summary_lists_roles(self):
+        text = self._collector().summary()
+        assert "role static-write: 1 transfers, 0.0 MB" in text
+        assert "role collective-chunk" in text
+        # Unlabelled traffic gets no role line.
+        assert "role :" not in text
+
+    def test_collective_run_tags_chunks(self):
+        from repro.distributed.runner import run_training_benchmark
+        from repro.models import get_model
+
+        bench = run_training_benchmark(
+            get_model("FCN-5"), "RDMA", num_servers=2, batch_size=32,
+            iterations=2, strategy="ring", collect_metrics=True)
+        roles = bench.metrics.bytes_by_role()
+        assert roles.get("collective-chunk", 0) > 0
+        assert bench.metrics.count(role="collective-chunk") > 0
 
 
 class TestClusterIntegration:
