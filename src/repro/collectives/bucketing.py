@@ -50,6 +50,19 @@ class GradientBucket:
     def num_variables(self) -> int:
         return len(self.variables)
 
+    @property
+    def priority(self) -> int:
+        """Wire-scheduling urgency of this bucket's allreduce.
+
+        Buckets are packed in backward (gradient-ready) order, so a
+        *later* bucket holds *earlier* layers' gradients — the ones the
+        next forward pass consumes first (TicTac/ByteScheduler's
+        consumer-need ordering).  The bucket index therefore is the
+        priority: the last-flushed bucket preempts the long tail of the
+        first bucket's bytes still on the wire.
+        """
+        return self.index
+
 
 def plan_buckets(variables: Sequence[VariableSpec],
                  fusion_bytes: int = DEFAULT_FUSION_BYTES

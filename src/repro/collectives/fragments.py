@@ -57,6 +57,22 @@ def _mark_collective_edge(builder: GraphBuilder, value: NodeOutput,
     edges.add(transfer_key(value.node.name, value.index, dst_device))
 
 
+def tag_fragment_priority(builder: GraphBuilder, first_node_index: int,
+                          priority: int) -> None:
+    """Stamp a scheduling priority on a just-emitted graph fragment.
+
+    Applies ``priority`` to every node added since ``first_node_index``
+    (a ``len(builder.graph)`` snapshot taken before emitting the
+    fragment).  The partitioner copies the attr onto the ``_Send``/
+    ``_Recv`` pairs of the fragment's cut edges, where the RDMA binding
+    hands it to the wire scheduler — so one call here prioritizes a
+    whole collective's chunk traffic end to end.  Nodes that already
+    carry an explicit priority keep it.
+    """
+    for node in list(builder.graph)[first_node_index:]:
+        node.attrs.setdefault("priority", priority)
+
+
 @dataclass(frozen=True)
 class ChunkRef:
     """A reduced chunk held by one worker after reduce-scatter."""

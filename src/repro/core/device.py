@@ -110,13 +110,15 @@ class RdmaChannel:
                direction: Direction,
                callback: Optional[Callable[[Completion], None]] = None,
                inline_data: Optional[bytes] = None,
-               role: str = "") -> int:
+               role: str = "", priority: int = 0) -> int:
         """Asynchronously copy between local and remote memory.
 
         Returns the work-request id.  ``callback`` fires (from the CQ
         poller) when the verb completes.  ``inline_data`` replaces the
         local region for small writes (e.g. flag bytes).  ``role`` tags
-        the transfer's protocol purpose for metrics and tracing.
+        the transfer's protocol purpose for metrics and tracing;
+        ``priority`` is the wire-scheduling urgency (honoured only by
+        the priority quantum scheduler).
         """
         if direction is Direction.LOCAL_TO_REMOTE:
             opcode = Opcode.WRITE
@@ -134,7 +136,7 @@ class RdmaChannel:
             lkey=local_region.lkey if local_region else 0,
             remote_addr=remote_addr, rkey=remote_region.rkey,
             inline_data=inline_data,
-            signaled=True, role=role)
+            signaled=True, role=role, priority=priority)
         self.device._register_callback(wr.wr_id, callback)
         self.qp.post_send(wr)
         self.bytes_transferred += wr.size

@@ -139,7 +139,8 @@ class RdmaCommRuntime(CommRuntime):
                 receiver = DynamicReceiver(
                     meta_region=slot, ndims=ndims, channel=channel,
                     arena=executor.arena, arena_region=region,
-                    dtype=recv_node.attrs["dtype"])
+                    dtype=recv_node.attrs["dtype"],
+                    priority=recv_node.attrs.get("priority", 0))
                 book.publish(f"{edge.key}#meta", slot)
             self.receivers[edge.key] = receiver
 
@@ -168,6 +169,8 @@ class RdmaCommRuntime(CommRuntime):
                 name=f"addr-lookup:{edge.key}")
             descriptor = session.sim.run_until_complete(fetch)
             graph = session.partitioned.subgraphs[edge.src_device]
+            send_node = graph.node(edge.send_node)
+            priority = send_node.attrs.get("priority", 0)
             if static:
                 role = ("collective-chunk" if edge.key in collective_edges
                         else "static-write")
@@ -175,14 +178,13 @@ class RdmaCommRuntime(CommRuntime):
                     channel=channel, remote=descriptor,
                     nbytes=edge.nbytes_static, arena=arena,
                     arena_region=region, state=self.state,
-                    role=role, key=edge.key)
+                    role=role, key=edge.key, priority=priority)
             else:
-                send_node = graph.node(edge.send_node)
                 ndims = send_node.inputs[0].shape.rank
                 self.senders[edge.key] = DynamicSender(
                     channel=channel, meta_slot=descriptor, ndims=ndims,
                     arena=arena, arena_region=region, state=self.state,
-                    key=edge.key)
+                    key=edge.key, priority=priority)
 
     def _qp_for(self, key: str) -> int:
         # crc32 rather than hash(): Python string hashing is salted

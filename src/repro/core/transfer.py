@@ -82,7 +82,8 @@ class StaticSender:
                  nbytes: int, arena: ArenaAllocator, arena_region: MemRegion,
                  state: TransferState,
                  staging_delay: Callable[[int], float] = None,
-                 role: str = "static-write", key: str = "") -> None:
+                 role: str = "static-write", key: str = "",
+                 priority: int = 0) -> None:
         self.channel = channel
         self.remote = remote
         self.nbytes = nbytes
@@ -91,6 +92,7 @@ class StaticSender:
         self.state = state
         self.role = role
         self.key = key
+        self.priority = priority
         if remote.size < nbytes + 1:
             raise DeviceError(
                 f"remote region of {remote.size} bytes cannot hold "
@@ -138,13 +140,13 @@ class StaticSender:
             local_addr=local_addr, local_region=wr_local_region,
             remote_addr=self.remote.addr, remote_region=self.remote,
             size=self.nbytes, direction=Direction.LOCAL_TO_REMOTE,
-            role=self.role)
+            role=self.role, priority=self.priority)
         flag_event = self.channel.memcpy_event(
             local_addr=0, local_region=None,
             remote_addr=self.remote.addr + self.nbytes,
             remote_region=self.remote,
             size=1, direction=Direction.LOCAL_TO_REMOTE,
-            inline_data=FLAG_SET, role=self.role)
+            inline_data=FLAG_SET, role=self.role, priority=self.priority)
         done = executor.sim.event()
         tracer = executor.host.cluster.tracer
         hostname = executor.host.name
@@ -209,7 +211,8 @@ class DynamicSender:
 
     def __init__(self, channel: RdmaChannel, meta_slot: RemoteMemRegion,
                  ndims: int, arena: ArenaAllocator, arena_region: MemRegion,
-                 state: TransferState, key: str = "") -> None:
+                 state: TransferState, key: str = "",
+                 priority: int = 0) -> None:
         self.channel = channel
         self.meta_slot = meta_slot
         self.ndims = ndims
@@ -217,6 +220,7 @@ class DynamicSender:
         self.arena_region = arena_region
         self.state = state
         self.key = key
+        self.priority = priority
         expected = TensorMeta.slot_size(ndims)
         if meta_slot.size < expected:
             raise DeviceError(
@@ -273,7 +277,8 @@ class DynamicSender:
             local_addr=0, local_region=None,
             remote_addr=self.meta_slot.addr, remote_region=self.meta_slot,
             size=len(encoded), direction=Direction.LOCAL_TO_REMOTE,
-            inline_data=encoded, role="dynamic-metadata")
+            inline_data=encoded, role="dynamic-metadata",
+            priority=self.priority)
         done = executor.sim.event()
         tracer = executor.host.cluster.tracer
         hostname = executor.host.name
@@ -305,13 +310,15 @@ class DynamicReceiver:
 
     def __init__(self, meta_region: MemRegion, ndims: int,
                  channel: RdmaChannel, arena: ArenaAllocator,
-                 arena_region: MemRegion, dtype: DType) -> None:
+                 arena_region: MemRegion, dtype: DType,
+                 priority: int = 0) -> None:
         self.meta_region = meta_region
         self.ndims = ndims
         self.channel = channel
         self.arena = arena
         self.arena_region = arena_region
         self.dtype = dtype
+        self.priority = priority
         self.flag_offset = TensorMeta.encoded_size(ndims)
         self.receives = 0
         self._last_tensor: Optional[Tensor] = None
@@ -353,7 +360,7 @@ class DynamicReceiver:
                     remote_addr=meta.remote_addr, remote_region=remote,
                     size=meta.data_nbytes,
                     direction=Direction.REMOTE_TO_LOCAL,
-                    role="dynamic-payload-read")
+                    role="dynamic-payload-read", priority=self.priority)
                 yield read_done
                 tracer = executor.host.cluster.tracer
                 if tracer is not None:

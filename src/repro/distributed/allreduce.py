@@ -30,7 +30,8 @@ from ..collectives.bucketing import (DEFAULT_FUSION_BYTES, GradientBucket,
 from ..collectives.fragments import (halving_doubling_allreduce,
                                      halving_doubling_wire_bytes,
                                      ring_allreduce,
-                                     ring_allreduce_wire_bytes)
+                                     ring_allreduce_wire_bytes,
+                                     tag_fragment_priority)
 from ..graph.builder import GraphBuilder
 from ..graph.dtypes import DType
 from ..graph.node import Graph, NodeOutput
@@ -55,6 +56,9 @@ class AllreduceTrainingJob:
     algorithm: str
     fusion_bytes: int
     buckets: List[GradientBucket]
+    #: False = post-barrier baseline: every bucket's reduction is held
+    #: back (by control edges) until the whole backward pass finishes
+    eager_flush: bool = True
 
     @property
     def bytes_per_worker_per_step(self) -> float:
@@ -69,7 +73,8 @@ def build_allreduce_training_graph(
         spec: ModelSpec, num_workers: int, batch_size: int,
         algorithm: str = "ring",
         fusion_bytes: int = DEFAULT_FUSION_BYTES,
-        lr: Optional[float] = None) -> AllreduceTrainingJob:
+        lr: Optional[float] = None,
+        eager_flush: bool = True) -> AllreduceTrainingJob:
     """Construct the replicated, collective-reduced training graph.
 
     Every worker owns a full variable replica; the backward pass emits
@@ -78,6 +83,14 @@ def build_allreduce_training_graph(
     last gradient materializes and overlaps the rest of backward),
     reduced across workers with the selected collective, unpacked, and
     applied locally.
+
+    ``eager_flush=False`` builds the post-barrier baseline instead:
+    control edges hold every bucket's pack back until the worker's
+    whole backward pass has finished, so no reduction overlaps backward
+    compute.  Each bucket's fragment is also stamped with the bucket's
+    scheduling priority (later buckets carry earlier layers' gradients,
+    needed first by the next forward pass) for the priority wire
+    scheduler to honour.
     """
     if num_workers < 1:
         raise ValueError("need at least one worker")
@@ -107,6 +120,8 @@ def build_allreduce_training_graph(
 
     # grads[i][var.name]: worker i's local gradient for the variable.
     grads: List[dict] = [{} for _ in range(num_workers)]
+    #: worker i's final backward stage — the barrier for eager_flush=False
+    last_bwd: List[NodeOutput] = []
     for i, worker in enumerate(workers):
         reads = [builder.identity(variable_outputs[i][v.name],
                                   name=f"w{i}/read/{v.name}", device=worker)
@@ -128,17 +143,24 @@ def build_allreduce_training_graph(
                 name=f"w{i}/bwd/{var.name}", device=worker)
             previous = stage
             grads[i][var.name] = stage
+        last_bwd.append(previous)
 
     # Bucketize in gradient-ready (reverse layer) order and reduce.
     ready_order = list(reversed(spec.variables))
     buckets = plan_buckets(ready_order, fusion_bytes=fusion_bytes)
     for bucket in buckets:
+        fragment_start = len(builder.graph)
         packed: List[NodeOutput] = [
             builder.add_op(
                 "FusionPack",
                 [grads[i][var.name] for var in bucket.variables],
                 name=f"w{i}/pack{bucket.index}", device=workers[i])
             for i in range(num_workers)]
+        if not eager_flush:
+            # Post-barrier baseline: the pack (and with it the whole
+            # reduction) may not start before backward has finished.
+            for i in range(num_workers):
+                packed[i].node.add_control_input(last_bwd[i].node)
         reduced = collective(builder, packed, workers,
                              name=f"bucket{bucket.index}")
         layout = [(var.name, Shape(var.shape), DType.float32)
@@ -155,10 +177,12 @@ def build_allreduce_training_graph(
                     variable_outputs[i][var.name],
                     unpacked.node.output(j), lr=lr,
                     name=f"w{i}/apply/{var.name}", device=worker)
+        tag_fragment_priority(builder, fragment_start, bucket.priority)
 
     graph = builder.finalize()
     devices = sorted({node.device for node in graph})
     return AllreduceTrainingJob(
         graph=graph, spec=spec, num_workers=num_workers,
         batch_size=batch_size, devices=devices, algorithm=algorithm,
-        fusion_bytes=fusion_bytes, buckets=buckets)
+        fusion_bytes=fusion_bytes, buckets=buckets,
+        eager_flush=eager_flush)

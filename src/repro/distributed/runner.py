@@ -23,7 +23,8 @@ from ..observability.stall import StallReport, build_stall_report
 from ..observability.tracer import Tracer
 from ..graph.transfer_api import CommRuntime, NullComm
 from ..models.spec import ModelSpec
-from ..simnet.costmodel import CostModel
+from ..simnet.costmodel import (DEFAULT_COST_MODEL,
+                                DEFAULT_WIRE_QUANTUM_BYTES, CostModel)
 from ..simnet.metrics import MetricsCollector
 from ..simnet.topology import Cluster
 from .allreduce import (AllreduceTrainingJob, build_allreduce_training_graph)
@@ -52,6 +53,14 @@ class CommConfig:
     num_cqs: int = 4
     num_qps_per_peer: int = 4
     backend: str = "RDMA"
+    #: fusion-bucket capacity for collective strategies (``--fusion-mb``);
+    #: None keeps ``DEFAULT_FUSION_BYTES``
+    fusion_bytes: Optional[int] = None
+    #: run the priority wire scheduler + priority-aware ready queues
+    priority_sched: bool = False
+    #: flush each fusion bucket's allreduce as soon as its last gradient
+    #: is produced; False holds every reduction behind a backward barrier
+    eager_flush: bool = True
 
 
 _COMM_CONFIG = CommConfig()
@@ -64,7 +73,10 @@ def comm_config() -> CommConfig:
 
 def configure_comm(num_cqs: Optional[int] = None,
                    num_qps_per_peer: Optional[int] = None,
-                   backend: Optional[str] = None) -> CommConfig:
+                   backend: Optional[str] = None,
+                   fusion_bytes: Optional[int] = None,
+                   priority_sched: Optional[bool] = None,
+                   eager_flush: Optional[bool] = None) -> CommConfig:
     """Override selected comm-runtime knobs; returns the new config."""
     global _COMM_CONFIG
     changes = {}
@@ -81,6 +93,14 @@ def configure_comm(num_cqs: Optional[int] = None,
             raise ValueError(f"unknown backend {backend!r}; "
                              f"have {MECHANISMS}")
         changes["backend"] = backend
+    if fusion_bytes is not None:
+        if fusion_bytes < 1:
+            raise ValueError("fusion_bytes must be positive")
+        changes["fusion_bytes"] = fusion_bytes
+    if priority_sched is not None:
+        changes["priority_sched"] = priority_sched
+    if eager_flush is not None:
+        changes["eager_flush"] = eager_flush
     _COMM_CONFIG = replace(_COMM_CONFIG, **changes)
     return _COMM_CONFIG
 
@@ -196,6 +216,8 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            placement: str = "round_robin",
                            strategy: str = "ps",
                            fusion_bytes: Optional[int] = None,
+                           priority_sched: Optional[bool] = None,
+                           eager_flush: Optional[bool] = None,
                            collect_metrics: bool = False,
                            collect_trace: bool = False,
                            time_limit: float = 36000.0) -> BenchmarkResult:
@@ -206,6 +228,13 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
     (oversized messages, §5.1/§5.2) are captured as a crashed result
     rather than raising, mirroring how the paper reports them.
 
+    ``priority_sched``/``eager_flush``/``fusion_bytes`` default to the
+    configured comm knobs (see :func:`configure_comm`).  Enabling
+    ``priority_sched`` turns on the NIC's priority quantum scheduler
+    (unless ``cost`` already sets ``wire_quantum_bytes``) and the
+    executors' priority-aware ready queues; ``eager_flush=False``
+    builds the post-barrier collective baseline.
+
     ``collect_trace`` enables the observability layer for this run;
     tracing also turns on automatically while a harness capture sink is
     configured (``--trace-out``/``--metrics-json``), and traced runs
@@ -213,6 +242,17 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
+    if fusion_bytes is None:
+        fusion_bytes = _COMM_CONFIG.fusion_bytes
+    if priority_sched is None:
+        priority_sched = _COMM_CONFIG.priority_sched
+    if eager_flush is None:
+        eager_flush = _COMM_CONFIG.eager_flush
+    if priority_sched:
+        base_cost = cost if cost is not None else DEFAULT_COST_MODEL
+        if base_cost.wire_quantum_bytes <= 0:
+            cost = replace(base_cost,
+                           wire_quantum_bytes=DEFAULT_WIRE_QUANTUM_BYTES)
     local = mechanism == "Local"
     predicted: Optional[float] = None
     if strategy == "ps" or local:
@@ -226,7 +266,7 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
             kwargs["fusion_bytes"] = fusion_bytes
         job = build_allreduce_training_graph(
             spec, num_workers=num_servers, batch_size=batch_size,
-            algorithm=strategy, **kwargs)
+            algorithm=strategy, eager_flush=eager_flush, **kwargs)
         predicted = job.bytes_per_worker_per_step
     cluster = Cluster(1 if local else num_servers, cost=cost)
     tracing = collect_trace or capture_enabled()
@@ -244,7 +284,8 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                                  for host in device_hosts.values()}))
     comm = comm or make_mechanism(mechanism)
     try:
-        session = Session(cluster, job.graph, device_hosts, comm=comm)
+        session = Session(cluster, job.graph, device_hosts, comm=comm,
+                          priority_sched=priority_sched)
         stats = session.run(iterations=iterations, time_limit=time_limit)
     except Exception as exc:  # noqa: BLE001 - crash capture is the point
         return BenchmarkResult(model=spec.name, mechanism=mechanism,

@@ -20,8 +20,10 @@ to steer traced allocation sites into the RDMA arena.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Deque, Dict, Generator, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,17 +47,68 @@ class ExecutorError(RuntimeError):
 _IDLE_BACKOFF_MAX = 500e-6
 
 
+class _ReadyQueue:
+    """The executor's ready queue: FIFO by default, priority when enabled.
+
+    Priority mode makes two deliberate changes to the service order:
+    nodes enqueued for (re-)polling sort after every fresh ready node —
+    a poll-miss sweep must not starve runnable compute — and transfer
+    nodes (``_Send``/``_Recv``) with a higher ``priority`` attr are
+    issued first, so an urgent tensor reaches the wire scheduler ahead
+    of bulk traffic.  Compute nodes keep their FIFO order regardless of
+    any priority attr: reordering compute would push collective
+    pack/unpack work ahead of the backward chain and lengthen the very
+    critical path the scheduler exists to shorten.  FIFO mode keeps the
+    exact legacy deque ordering so default-mode clocks are
+    bit-identical.
+    """
+
+    def __init__(self, nodes=(), priority: bool = False) -> None:
+        self._priority = priority
+        self._fifo: Deque[Node] = deque()
+        self._heap: List[Tuple[int, int, int, Node]] = []
+        self._seq = itertools.count()
+        for node in nodes:
+            self.append(node)
+
+    def append(self, node: Node, retry: bool = False) -> None:
+        if not self._priority:
+            self._fifo.append(node)
+        else:
+            urgency = (node.attrs.get("priority", 0)
+                       if not retry and node.op_type == "_Send" else 0)
+            heappush(self._heap, (-urgency, next(self._seq), node))
+
+    def popleft(self) -> Node:
+        if not self._priority:
+            return self._fifo.popleft()
+        return heappop(self._heap)[-1]
+
+    def __len__(self) -> int:
+        return len(self._fifo) + len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._fifo) or bool(self._heap)
+
+    def __iter__(self) -> Iterator[Node]:
+        if not self._priority:
+            return iter(self._fifo)
+        return iter(entry[-1] for entry in self._heap)
+
+
 class Executor:
     """Runs one partition subgraph on one simulated host, repeatedly."""
 
     def __init__(self, host: Host, graph: Graph, device: str,
-                 comm: CommRuntime, allocation_policy=None) -> None:
+                 comm: CommRuntime, allocation_policy=None,
+                 priority_sched: bool = False) -> None:
         self.host = host
         self.sim: Simulator = host.sim
         self.cost = host.cost
         self.graph = graph
         self.device = device
         self.comm = comm
+        self.priority_sched = priority_sched
         self.heap = HostAllocator(host, name=f"heap:{device}")
         #: the RDMA arena; installed by the analyzer when RDMA is in play
         self.arena: Optional[ArenaAllocator] = None
@@ -136,7 +189,9 @@ class Executor:
             for dep in dep_names:
                 dependents[dep].append(name)
 
-        ready = deque(node for node in self._order if pending[node.name] == 0)
+        ready = _ReadyQueue((node for node in self._order
+                             if pending[node.name] == 0),
+                            priority=self.priority_sched)
         in_flight = 0
         completed = 0
         total = len(self._order)
@@ -203,7 +258,7 @@ class Executor:
                     if tracer is not None:
                         tracer.account(hostname, track, iteration, "poll",
                                        t0, self.sim.now, emit=False)
-                    ready.append(node)
+                    ready.append(node, retry=True)
                     sweep_misses += 1
                     if (sweep_misses >= len(ready)
                             and not any(n.name not in polling
@@ -251,7 +306,7 @@ class Executor:
             elif next_outcome.kind == "poll":
                 polling[node.name] = next_outcome
                 in_flight += 1
-                ready.append(node)
+                ready.append(node, retry=True)
             else:  # pragma: no cover - defensive
                 raise ExecutorError(f"bad outcome kind {next_outcome.kind}")
 

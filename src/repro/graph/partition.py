@@ -118,19 +118,24 @@ def _insert_transfer(result: PartitionedGraph, placed: Dict[str, Node],
 
     producer = placed[src.node.name].output(src.index)
     send_name = src_graph.unique_name(f"send/{key}")
+    send_attrs = {"key": key, "dst_device": dst_device}
+    recv_attrs = {"key": key, "src_device": src_device}
+    # Transfers inherit the producer's scheduling priority, so the wire
+    # scheduler can favour sooner-needed tensors end to end.
+    priority = src.node.attrs.get("priority")
+    if priority is not None:
+        send_attrs["priority"] = priority
+        recv_attrs["priority"] = priority
     send = src_graph.add_node(send_name, "_Send", [producer],
-                              attrs={"key": key, "dst_device": dst_device},
-                              device=src_device)
+                              attrs=send_attrs, device=src_device)
     send.output_shapes, send.output_dtypes = [], []
     send.static_shape = src.node.static_shape
 
     recv_name = dst_graph.unique_name(f"recv/{key}")
     shape = src.node.output_shapes[src.index]
     dtype = src.node.output_dtypes[src.index]
-    recv = dst_graph.add_node(recv_name, "_Recv", [],
-                              attrs={"key": key, "shape": shape,
-                                     "dtype": dtype,
-                                     "src_device": src_device},
+    recv_attrs.update(shape=shape, dtype=dtype)
+    recv = dst_graph.add_node(recv_name, "_Recv", [], attrs=recv_attrs,
                               device=dst_device)
     recv.output_shapes = [shape]
     recv.output_dtypes = [dtype]

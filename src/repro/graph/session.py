@@ -62,7 +62,8 @@ class Session:
 
     def __init__(self, cluster: Cluster, graph: Graph,
                  device_hosts: Dict[str, Host],
-                 comm: Optional[CommRuntime] = None) -> None:
+                 comm: Optional[CommRuntime] = None,
+                 priority_sched: bool = False) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.graph = graph
@@ -74,7 +75,8 @@ class Session:
         self.executors: Dict[str, Executor] = {
             device: Executor(device_hosts[device],
                              self.partitioned.subgraphs[device],
-                             device, self.comm)
+                             device, self.comm,
+                             priority_sched=priority_sched)
             for device in self.partitioned.devices
         }
         # Mechanism setup (RDMA analyzer, RPC servers/channels, ...).

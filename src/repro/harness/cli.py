@@ -37,6 +37,20 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", choices=MECHANISMS, default=None,
                         help="transfer mechanism used where an experiment "
                              "asks for the configured default")
+    parser.add_argument("--fusion-mb", type=float, default=None,
+                        metavar="MB",
+                        help="gradient fusion bucket size in MiB for "
+                             "collective runs (default: model-dependent)")
+    parser.add_argument("--priority-sched", action="store_true",
+                        default=None,
+                        help="priority-aware transfer scheduling: preemptive "
+                             "quantum wire scheduler + urgency-ordered "
+                             "executor ready queue")
+    parser.add_argument("--eager-flush", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="flush fusion buckets during backward "
+                             "(--no-eager-flush holds them behind a "
+                             "post-backward barrier)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a merged Chrome trace_event JSON of "
                              "every benchmark run (open in Perfetto)")
@@ -45,9 +59,14 @@ def main(argv=None) -> int:
                              "stall-attribution report as JSON")
     args = parser.parse_args(argv)
 
+    fusion_bytes = (None if args.fusion_mb is None
+                    else int(args.fusion_mb * 1024 * 1024))
     configure_comm(num_cqs=args.num_cqs,
                    num_qps_per_peer=args.qps_per_peer,
-                   backend=args.backend)
+                   backend=args.backend,
+                   fusion_bytes=fusion_bytes,
+                   priority_sched=args.priority_sched,
+                   eager_flush=args.eager_flush)
     capturing = args.trace_out is not None or args.metrics_json is not None
     if capturing:
         configure_capture(trace_out=args.trace_out,

@@ -9,6 +9,7 @@ suite; pass larger iteration counts / denser sweeps for a full run
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -353,6 +354,93 @@ def stallreport(model: str = "FCN-5", num_servers: int = 2,
     return result
 
 
+def overlap(models: Optional[Sequence[str]] = None, num_servers: int = 4,
+            batch_size: int = 32, iterations: int = 3,
+            fusion_mb: float = 8.0, algorithm: str = "ring",
+            json_path: Optional[str] = None) -> ExperimentResult:
+    """Extension: priority scheduling + backward-overlapped eager flush.
+
+    Compares two allreduce schedules over the same fused-bucket plan:
+
+    * **barrier** — every fusion bucket waits for the full backward
+      pass before flushing, and the wire serves transfers FIFO (the
+      classic contiguous-booking pipe).
+    * **eager+priority** — buckets flush as soon as their gradients
+      exist (overlapping communication with the rest of backward), the
+      wire is a preemptive priority quantum server, and the executor
+      issues urgent sends first.
+
+    Reports step times, the speedup, and each schedule's overlap
+    efficiency (fraction of wire time hidden under critical-path
+    compute — the figure the scheduler exists to raise).  Pass
+    ``json_path`` to also dump the rows as JSON (the CI smoke step
+    commits this as ``BENCH_overlap.json``).
+    """
+    fusion_bytes = int(fusion_mb * MB)
+    result = ExperimentResult(
+        experiment="Extension: overlap",
+        title=(f"Priority + eager-flush scheduling vs post-backward "
+               f"barrier ({num_servers} servers, batch {batch_size}, "
+               f"{algorithm}, fusion {fusion_mb:g}MB)"),
+        columns=["benchmark", "barrier_ms", "eager_priority_ms",
+                 "speedup_pct", "barrier_overlap_pct",
+                 "eager_overlap_pct", "faster"])
+    records: List[Dict[str, object]] = []
+    for name in (models or model_names()):
+        spec = get_model(name)
+        common = dict(num_servers=num_servers, batch_size=batch_size,
+                      iterations=iterations, strategy=algorithm,
+                      fusion_bytes=fusion_bytes, collect_trace=True)
+        barrier = run_training_benchmark(spec, "RDMA", eager_flush=False,
+                                         priority_sched=False, **common)
+        eager = run_training_benchmark(spec, "RDMA", eager_flush=True,
+                                       priority_sched=True, **common)
+        if barrier.crashed or eager.crashed:
+            reason = barrier.crash_reason or eager.crash_reason or "?"
+            result.add_row(name, None, None, None, None, None, None)
+            result.note(f"{name} crashed: {reason[:90]}")
+            continue
+        speedup = ((barrier.step_time - eager.step_time)
+                   / barrier.step_time * 100)
+        barrier_eff = barrier.stall_report().overlap_efficiency()
+        eager_eff = eager.stall_report().overlap_efficiency()
+        faster = eager.step_time < barrier.step_time
+        result.add_row(
+            name, round(barrier.step_time * 1e3, 3),
+            round(eager.step_time * 1e3, 3), round(speedup, 2),
+            None if barrier_eff is None else round(barrier_eff * 100, 1),
+            None if eager_eff is None else round(eager_eff * 100, 1),
+            faster)
+        records.append({
+            "benchmark": name,
+            "barrier_step_ms": barrier.step_time * 1e3,
+            "eager_priority_step_ms": eager.step_time * 1e3,
+            "speedup_pct": speedup,
+            "barrier_overlap_efficiency": barrier_eff,
+            "eager_overlap_efficiency": eager_eff,
+            "faster": faster,
+        })
+    faster_count = sum(1 for r in records if r["faster"])
+    result.note(f"eager+priority faster on {faster_count}/{len(records)} "
+                f"benchmarks")
+    if json_path is not None:
+        payload = {
+            "experiment": "overlap",
+            "config": {"num_servers": num_servers,
+                       "batch_size": batch_size,
+                       "iterations": iterations,
+                       "fusion_mb": fusion_mb,
+                       "algorithm": algorithm},
+            "models": records,
+            "faster_count": faster_count,
+            "model_count": len(records),
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -364,6 +452,7 @@ ALL_EXPERIMENTS = {
     "table3": table3,
     "allreduce": extension_allreduce,
     "stallreport": stallreport,
+    "overlap": overlap,
 }
 
 
@@ -386,5 +475,6 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
                 models=("FCN-5",), server_counts=(4,),
                 mechanisms=("RDMA",), iterations=3),
             "stallreport": stallreport(),
+            "overlap": overlap(models=("FCN-5",), num_servers=2),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

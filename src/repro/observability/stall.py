@@ -48,6 +48,7 @@ class IterationStall:
     duration: float                    # measured (session) iteration time
     executors: List[ExecutorBreakdown]
     overlapped_serialization: float    # protocol-track work, concurrent
+    wire_busy: float = 0.0             # union of wire spans in the window
 
     @property
     def critical(self) -> Optional[ExecutorBreakdown]:
@@ -72,6 +73,36 @@ class IterationStall:
         """accounted / measured — the "within 1%" acceptance figure."""
         return self.accounted / self.duration if self.duration else 0.0
 
+    @property
+    def exposed_wait(self) -> float:
+        """Critical-path time spent parked on communication.
+
+        ``wire_wait`` (blocked on async completions) plus ``poll_wait``
+        (all pollers missed, idle backoff) — the communication time the
+        scheduler failed to hide under compute.
+        """
+        components = self.components
+        return (components.get("wire_wait", 0.0)
+                + components.get("poll_wait", 0.0))
+
+    @property
+    def hidden_wire(self) -> float:
+        """Wire occupancy that overlapped with critical-path progress."""
+        return max(self.wire_busy - self.exposed_wait, 0.0)
+
+    @property
+    def overlap_efficiency(self) -> Optional[float]:
+        """Fraction of wire time hidden under compute (None if no wire).
+
+        1.0 means every second the wire was busy, the critical-path
+        executor made progress on something else; 0.0 means the
+        executor sat exposed for at least as long as the wire ran.
+        A priority/eager scheduler should push this figure *up*.
+        """
+        if self.wire_busy <= 0.0:
+            return None
+        return min(self.hidden_wire / self.wire_busy, 1.0)
+
 
 @dataclass
 class StallReport:
@@ -95,10 +126,19 @@ class StallReport:
         return {category: seconds / denom
                 for category, seconds in totals.items()}
 
+    def overlap_efficiency(self) -> Optional[float]:
+        """Aggregate hidden-wire fraction across iterations (None if no wire)."""
+        wire = sum(it.wire_busy for it in self.iterations)
+        if wire <= 0.0:
+            return None
+        hidden = sum(it.hidden_wire for it in self.iterations)
+        return min(hidden / wire, 1.0)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "totals": self.totals(),
             "fractions": self.fractions(),
+            "overlap_efficiency": self.overlap_efficiency(),
             "iterations": [
                 {
                     "iteration": it.iteration,
@@ -107,6 +147,8 @@ class StallReport:
                     "coverage": it.coverage,
                     "components": it.components,
                     "overlapped_serialization": it.overlapped_serialization,
+                    "wire_busy": it.wire_busy,
+                    "overlap_efficiency": it.overlap_efficiency,
                     "executors": [
                         {"host": e.host, "track": e.track,
                          "components": e.components, "total": e.total}
@@ -149,12 +191,44 @@ class StallReport:
             share = ", ".join(f"{c}={fractions[c] * 100:.1f}%"
                               for c in columns if c in fractions)
             lines.append(f"stall shares (critical path): {share}")
+        efficiency = self.overlap_efficiency()
+        if efficiency is not None:
+            wire = sum(it.wire_busy for it in self.iterations)
+            lines.append(f"overlap efficiency: {efficiency * 100:.1f}% "
+                         f"of {wire * 1e3:.3f}ms wire time hidden")
         return "\n".join(lines)
+
+
+def _wire_busy_union(intervals: List[tuple], start: float,
+                     end: float) -> float:
+    """Total time in [start, end] covered by >= 1 wire span.
+
+    ``intervals`` must be sorted by start time; overlapping transfers
+    (several NICs active at once) are merged so concurrent occupancy is
+    not double-counted — the figure answers "for how long was *any*
+    wire busy", the denominator of overlap efficiency.
+    """
+    busy = 0.0
+    cursor = start
+    for span_start, span_end in intervals:
+        if span_end <= cursor:
+            continue
+        if span_start >= end:
+            break
+        lo = max(span_start, cursor)
+        hi = min(span_end, end)
+        if hi > lo:
+            busy += hi - lo
+            cursor = hi
+    return busy
 
 
 def build_stall_report(tracer: Tracer) -> StallReport:
     """Assemble the report from a tracer's accumulators and windows."""
     report = StallReport()
+    wire_spans = sorted(
+        ((s.start, s.end) for s in tracer.spans if s.category == "wire"),
+        key=lambda iv: iv[0])
     for window in tracer.iteration_windows:
         executors = [
             ExecutorBreakdown(host=host, track=track,
@@ -174,5 +248,7 @@ def build_stall_report(tracer: Tracer) -> StallReport:
             IterationStall(iteration=window.iteration,
                            duration=window.duration,
                            executors=executors,
-                           overlapped_serialization=overlapped))
+                           overlapped_serialization=overlapped,
+                           wire_busy=_wire_busy_union(
+                               wire_spans, window.start, window.end)))
     return report

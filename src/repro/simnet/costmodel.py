@@ -18,6 +18,11 @@ KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
 
+#: quantum the harness enables when priority scheduling is requested:
+#: ~41us of wire time at 100 Gbps — fine-grained enough to interleave
+#: urgent tensors, coarse enough to keep per-transfer event counts low
+DEFAULT_WIRE_QUANTUM_BYTES = 512 * KB
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -71,6 +76,18 @@ class CostModel:
     poll_check: float = 0.2e-6                 # one flag-byte check
     poll_requeue: float = 0.3e-6               # re-enqueue a polling-async op
     idle_poll_interval: float = 2.0e-6         # backoff when queue is empty
+
+    # ---- priority wire scheduling ----
+    #: quantum size for the preemptive wire scheduler; 0 keeps the
+    #: classic contiguous-booking Pipe (a transfer occupies the wire in
+    #: one unbroken interval).  When positive, each NIC direction is a
+    #: priority quantum server: transfers are sliced into quantum
+    #: bookings and a higher-priority transfer can interleave at the
+    #: next quantum boundary instead of waiting out a 32MB booking.
+    wire_quantum_bytes: int = 0
+    #: cap on quanta per transfer (large transfers use size/max so the
+    #: event count stays bounded)
+    wire_max_quanta: int = 8
 
     # ---- GPU (Tesla P100 over PCIe 3.0 x16) ----
     pcie_bandwidth: float = 10e9               # host<->device staging copy

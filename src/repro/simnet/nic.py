@@ -10,6 +10,12 @@ egress and the receiver's ingress with cut-through overlap, so an
 uncontended transfer costs one serialization delay while fan-in to a
 hot receiver (the parameter-server pattern) queues on its ingress.
 
+When ``CostModel.wire_quantum_bytes > 0`` each direction instead runs a
+:class:`WireScheduler` — a preemptive priority quantum server in which
+large transfers are sliced into quantum bookings so a high-priority
+small transfer can interleave mid-flight; an uncontended transfer still
+costs exactly the legacy ``verb + latency + size/bandwidth`` time.
+
 Semantics model
 ---------------
 One-sided WRITEs commit into the destination address space in
@@ -24,7 +30,9 @@ FIFO order.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from collections import deque
+from heapq import heappop, heappush
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .costmodel import CostModel
@@ -67,12 +75,14 @@ class Pipe:
         if duration <= 0:
             return earliest, earliest
         cursor = earliest
-        index = 0
+        # Skip every interval that ends at or before the cursor in one
+        # bisect instead of a linear scan from index 0: the intervals
+        # are sorted and disjoint, so once the walk below advances the
+        # cursor past an interval's end, no later interval can satisfy
+        # ``busy_end <= cursor`` again.
+        index = bisect_right(self._busy, cursor, key=lambda iv: iv[1])
         while index < len(self._busy):
             busy_start, busy_end = self._busy[index]
-            if busy_end <= cursor:
-                index += 1
-                continue
             if busy_start >= cursor + duration:
                 break  # the gap before this interval fits
             cursor = max(cursor, busy_end)
@@ -108,6 +118,173 @@ class Pipe:
         """
         _start, end = self.reserve(earliest, size)
         return max(end, data_ready)
+
+
+class WireBooking:
+    """One transfer's claim on a :class:`WireScheduler` direction.
+
+    ``first_start``/``end`` are filled in as the scheduler serves the
+    booking; ``on_start`` fires when the first quantum begins (used to
+    release the cut-through ingress half), ``on_complete`` when the
+    last quantum ends.  ``_done_callbacks`` implement ``after``
+    chaining: a booking gated on this one is enqueued the moment this
+    one finishes.
+    """
+
+    __slots__ = ("size", "priority", "data_ready", "quantum", "remaining",
+                 "first_start", "end", "on_start", "on_complete", "done",
+                 "_done_callbacks", "_after", "seq")
+
+    def __init__(self, size: int, priority: int, data_ready: Optional[float],
+                 quantum: int, seq: int) -> None:
+        self.size = size
+        self.priority = priority
+        self.data_ready = data_ready
+        self.quantum = quantum
+        self.remaining = size
+        self.first_start: Optional[float] = None
+        self.end: Optional[float] = None
+        self.on_start: Optional[Callable[[], None]] = None
+        self.on_complete: Optional[Callable[[], None]] = None
+        self.done = False
+        self._done_callbacks: List[Callable[[], None]] = []
+        self._after: Optional["WireBooking"] = None
+        self.seq = seq
+
+
+class WireScheduler:
+    """Preemptive priority quantum server for one NIC port direction.
+
+    The classic :class:`Pipe` books every transfer as one contiguous
+    interval, so a 32MB fusion buffer head-of-line-blocks each small,
+    urgently-needed tensor posted behind it.  Here the wire serves one
+    *quantum* at a time, always picking the highest-priority runnable
+    booking, so a high-priority transfer interleaves at the next
+    quantum boundary instead of waiting out the whole booking.  Large
+    transfers use ``max(quantum_bytes, size / max_quanta)`` per quantum
+    so the event count per transfer stays bounded.
+
+    Per-QP FIFO is not the scheduler's job: the NIC chains each QP's
+    bookings with ``after`` so one QP's verbs start (and therefore
+    finish) in post order no matter how the wire interleaves quanta.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, quantum_bytes: int,
+                 max_quanta: int = 8) -> None:
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.quantum_bytes = max(int(quantum_bytes), 1)
+        self.max_quanta = max(int(max_quanta), 1)
+        self.bytes_carried = 0
+        #: runnable bookings, highest priority first (FIFO within a tie)
+        self._heap: List[Tuple[int, int, WireBooking]] = []
+        #: the wire is committed to the current quantum until this time
+        self._busy_until = 0.0
+        self._seq = itertools.count()
+
+    # -- booking lifecycle -------------------------------------------------------
+
+    def submit(self, size: int, priority: int = 0, data_ready: float = 0.0,
+               after: Optional[WireBooking] = None) -> WireBooking:
+        """Book ``size`` bytes, runnable once ``data_ready`` passes and
+        ``after`` (if given) has finished."""
+        booking = self._make(size, priority, data_ready)
+        self._gate(booking, after)
+        return booking
+
+    def hold(self, size: int, priority: int = 0,
+             after: Optional[WireBooking] = None) -> WireBooking:
+        """Create a booking that is not yet runnable (see :meth:`release`).
+
+        Used for the ingress half of a cut-through transfer: the booking
+        must exist at post time so the QP can chain ordering through it,
+        but it only becomes runnable once the sender's egress starts and
+        the first bit's arrival time is known.
+        """
+        booking = self._make(size, priority, None)
+        booking._after = after
+        return booking
+
+    def release(self, booking: WireBooking, data_ready: float) -> None:
+        """Make a held booking runnable from ``data_ready`` onwards."""
+        booking.data_ready = data_ready
+        self._gate(booking, booking._after)
+
+    def _make(self, size: int, priority: int,
+              data_ready: Optional[float]) -> WireBooking:
+        quantum = max(self.quantum_bytes, -(-size // self.max_quanta))
+        booking = WireBooking(size, priority, data_ready, quantum,
+                              next(self._seq))
+        self.bytes_carried += size
+        return booking
+
+    def _gate(self, booking: WireBooking,
+              after: Optional[WireBooking]) -> None:
+        if after is None or after.done:
+            self._enqueue(booking)
+        else:
+            after._done_callbacks.append(lambda: self._enqueue(booking))
+
+    def _enqueue(self, booking: WireBooking) -> None:
+        heappush(self._heap, (-booking.priority, booking.seq, booking))
+        self._schedule_decision()
+
+    # -- the serving loop --------------------------------------------------------
+
+    def _schedule_decision(self) -> None:
+        if not self._heap:
+            return
+        when = max(self.sim.now, self._busy_until)
+        if not any(b.data_ready <= when for _, _, b in self._heap):
+            when = min(b.data_ready for _, _, b in self._heap)
+        self.sim.call_at(when, self._decide)
+
+    def _decide(self) -> None:
+        """Serve one quantum of the best runnable booking.
+
+        The simulator cannot cancel scheduled events, so stale
+        ``_decide`` callbacks are expected; the guard makes them
+        harmless no-ops.
+        """
+        now = self.sim.now
+        if now < self._busy_until or not self._heap:
+            return
+        deferred = []
+        chosen: Optional[WireBooking] = None
+        while self._heap:
+            entry = heappop(self._heap)
+            if entry[2].data_ready <= now:
+                chosen = entry[2]
+                break
+            deferred.append(entry)
+        for entry in deferred:
+            heappush(self._heap, entry)
+        if chosen is None:
+            self._schedule_decision()
+            return
+        if chosen.first_start is None:
+            chosen.first_start = now
+            if chosen.on_start is not None:
+                chosen.on_start()
+        take = min(chosen.quantum, chosen.remaining)
+        chosen.remaining -= take
+        end = now + take / self.bandwidth
+        self._busy_until = end
+        self.sim.call_at(end, lambda: self._finish_quantum(chosen))
+
+    def _finish_quantum(self, booking: WireBooking) -> None:
+        if booking.remaining > 0:
+            # Preemption point: the booking re-competes on priority.
+            heappush(self._heap, (-booking.priority, booking.seq, booking))
+        else:
+            booking.end = self.sim.now
+            booking.done = True
+            if booking.on_complete is not None:
+                booking.on_complete()
+            callbacks, booking._done_callbacks = booking._done_callbacks, []
+            for callback in callbacks:
+                callback()
+        self._schedule_decision()
 
 
 class CompletionQueue:
@@ -167,6 +344,11 @@ class QueuePair:
         #: per-QP FIFO guarantees (verbs on one QP execute in order)
         self._egress_free = 0.0
         self._last_arrival = 0.0
+        #: tail of this QP's booking chains when the NIC runs the
+        #: priority wire scheduler (the quantum server interleaves
+        #: transfers, so FIFO must be enforced by chaining here)
+        self._egress_chain: Optional[WireBooking] = None
+        self._ingress_chain: Optional[WireBooking] = None
 
     # -- connection management ---------------------------------------------------
 
@@ -260,6 +442,18 @@ class RdmaNic:
         self.mr_table = MrTable(cost.mr_table_capacity)
         self.egress = Pipe(cost.rdma_bandwidth)
         self.ingress = Pipe(cost.rdma_bandwidth)
+        # Priority mode: each direction becomes a preemptive quantum
+        # server instead of a contiguous-booking pipe.
+        if cost.wire_quantum_bytes > 0:
+            self.egress_sched: Optional[WireScheduler] = WireScheduler(
+                sim, cost.rdma_bandwidth, cost.wire_quantum_bytes,
+                cost.wire_max_quanta)
+            self.ingress_sched: Optional[WireScheduler] = WireScheduler(
+                sim, cost.rdma_bandwidth, cost.wire_quantum_bytes,
+                cost.wire_max_quanta)
+        else:
+            self.egress_sched = None
+            self.ingress_sched = None
         self.registration_time_spent = 0.0
 
     # -- memory registration -------------------------------------------------------
@@ -336,6 +530,11 @@ class RdmaNic:
             self._fail(qp, wr, WcStatus.REMOTE_ACCESS_ERROR)
             return
 
+        if self.egress_sched is not None and remote_nic.ingress_sched is not None:
+            self._execute_write_prio(qp, wr, remote_nic, payload, head, tail,
+                                     dest_buf, dest_off)
+            return
+
         depart = max(self.sim.now + self.cost.rdma_verb_overhead,
                      qp._egress_free)
         start, egress_end = self.egress.reserve(depart, wr.size)
@@ -361,6 +560,54 @@ class RdmaNic:
         self._trace_verb(qp, wr, end + self.cost.rdma_completion_overhead
                          if wr.signaled else end)
 
+    def _execute_write_prio(self, qp: QueuePair, wr: WorkRequest,
+                            remote_nic: "RdmaNic",
+                            payload: Optional[bytes], head: bytes,
+                            tail: bytes, dest_buf, dest_off: int) -> None:
+        """WRITE under the priority quantum scheduler (cut-through).
+
+        The egress booking becomes runnable once the WQE is processed;
+        the ingress booking is created immediately (so the QP's FIFO
+        chain covers it) but held until the egress actually starts,
+        when the first bit's arrival time is known.  The transfer is
+        finished when both directions have served all quanta; the last
+        byte additionally cannot land before it was sent
+        (``egress end + propagation``).
+        """
+        posted = self.sim.now
+        latency = self.cost.rdma_base_latency
+        depart = posted + self.cost.rdma_verb_overhead
+        eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
+                                      after=qp._egress_chain)
+        qp._egress_chain = eb
+        ib = remote_nic.ingress_sched.hold(wr.size, wr.priority,
+                                           after=qp._ingress_chain)
+        qp._ingress_chain = ib
+        eb.on_start = lambda: remote_nic.ingress_sched.release(
+            ib, eb.first_start + latency)
+
+        def finish() -> None:
+            if not (eb.done and ib.done):
+                return
+            end = max(ib.end, eb.end + latency)
+            self._schedule_ascending_commit(dest_buf.backing, dest_off,
+                                            wr.size, payload, eb.first_start,
+                                            end, head, tail,
+                                            wake_host=remote_nic.host)
+            self._record(Opcode.WRITE, self.host, remote_nic.host, wr.size,
+                         eb.first_start, end, role=wr.role)
+            completed = end
+            if wr.signaled:
+                completed = end + self.cost.rdma_completion_overhead
+                comp = Completion(wr_id=wr.wr_id, opcode=Opcode.WRITE,
+                                  status=WcStatus.SUCCESS, byte_len=wr.size,
+                                  qp_num=qp.qp_num, timestamp=completed)
+                self.sim.call_at(completed, lambda: qp.send_cq.push(comp))
+            self._trace_verb(qp, wr, completed, posted=posted)
+
+        eb.on_complete = finish
+        ib.on_complete = finish
+
     def _execute_read(self, qp: QueuePair, wr: WorkRequest) -> None:
         remote_qp = qp._require_remote()
         remote_nic = remote_qp.nic
@@ -376,6 +623,11 @@ class RdmaNic:
         payload, head, tail = self._edge_payload(src_buf.backing, src_off, wr.size)
         dest_buf = local_region.buffer
         dest_off = wr.local_addr - dest_buf.addr
+
+        if self.ingress_sched is not None and remote_nic.egress_sched is not None:
+            self._execute_read_prio(qp, wr, remote_nic, payload, head, tail,
+                                    dest_buf, dest_off)
+            return
 
         # Request leg to the remote NIC, then data flows back.
         request_arrives = (max(self.sim.now + self.cost.rdma_verb_overhead,
@@ -402,12 +654,63 @@ class RdmaNic:
         self._trace_verb(qp, wr, end + self.cost.rdma_completion_overhead
                          if wr.signaled else end)
 
+    def _execute_read_prio(self, qp: QueuePair, wr: WorkRequest,
+                           remote_nic: "RdmaNic", payload: Optional[bytes],
+                           head: bytes, tail: bytes, dest_buf,
+                           dest_off: int) -> None:
+        """READ under the priority quantum scheduler.
+
+        The data leg flows on the *remote* egress after the request
+        leg's extra RTT; the remote egress booking is chained after this
+        QP's egress chain (mirroring the legacy ``_egress_free`` gate on
+        the request departure) but does not advance it — legacy READs do
+        not occupy the local egress either.
+        """
+        posted = self.sim.now
+        latency = self.cost.rdma_base_latency
+        request_arrives = (posted + self.cost.rdma_verb_overhead
+                           + self.cost.rdma_read_extra_rtt)
+        reb = remote_nic.egress_sched.submit(wr.size, wr.priority,
+                                             data_ready=request_arrives,
+                                             after=qp._egress_chain)
+        ib = self.ingress_sched.hold(wr.size, wr.priority,
+                                     after=qp._ingress_chain)
+        qp._ingress_chain = ib
+        reb.on_start = lambda: self.ingress_sched.release(
+            ib, reb.first_start + latency)
+
+        def finish() -> None:
+            if not (reb.done and ib.done):
+                return
+            end = max(ib.end, reb.end + latency)
+            self._schedule_ascending_commit(dest_buf.backing, dest_off,
+                                            wr.size, payload, reb.first_start,
+                                            end, head, tail,
+                                            wake_host=self.host)
+            self._record(Opcode.READ, remote_nic.host, self.host, wr.size,
+                         reb.first_start, end, role=wr.role)
+            completed = end
+            if wr.signaled:
+                completed = end + self.cost.rdma_completion_overhead
+                comp = Completion(wr_id=wr.wr_id, opcode=Opcode.READ,
+                                  status=WcStatus.SUCCESS, byte_len=wr.size,
+                                  qp_num=qp.qp_num, timestamp=completed)
+                self.sim.call_at(completed, lambda: qp.send_cq.push(comp))
+            self._trace_verb(qp, wr, completed, posted=posted)
+
+        reb.on_complete = finish
+        ib.on_complete = finish
+
     def _execute_send(self, qp: QueuePair, wr: WorkRequest) -> None:
         remote_qp = qp._require_remote()
         try:
             payload, head, tail = self._local_payload(wr)
         except MemoryError_:
             self._fail(qp, wr, WcStatus.REMOTE_ACCESS_ERROR)
+            return
+        if self.egress_sched is not None and \
+                remote_qp.nic.ingress_sched is not None:
+            self._execute_send_prio(qp, wr, remote_qp, payload, head, tail)
             return
         depart = max(self.sim.now + self.cost.rdma_verb_overhead,
                      qp._egress_free)
@@ -435,6 +738,45 @@ class RdmaNic:
         self._trace_verb(qp, wr, arrival + self.cost.rdma_completion_overhead
                          if wr.signaled else arrival)
 
+    def _execute_send_prio(self, qp: QueuePair, wr: WorkRequest,
+                           remote_qp: QueuePair, payload: Optional[bytes],
+                           head: bytes, tail: bytes) -> None:
+        """SEND under the priority quantum scheduler."""
+        remote_nic = remote_qp.nic
+        posted = self.sim.now
+        latency = self.cost.rdma_base_latency
+        depart = posted + self.cost.rdma_verb_overhead
+        eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
+                                      after=qp._egress_chain)
+        qp._egress_chain = eb
+        ib = remote_nic.ingress_sched.hold(wr.size, wr.priority,
+                                           after=qp._ingress_chain)
+        qp._ingress_chain = ib
+        eb.on_start = lambda: remote_nic.ingress_sched.release(
+            ib, eb.first_start + latency)
+        data = payload if payload is not None else b""
+
+        def finish() -> None:
+            if not (eb.done and ib.done):
+                return
+            arrival = max(ib.end, eb.end + latency)
+            self._record(Opcode.SEND, self.host, remote_nic.host, wr.size,
+                         eb.first_start, arrival, role=wr.role)
+            self.sim.call_at(
+                arrival,
+                lambda: remote_qp._incoming_send(wr, data, arrival, head, tail))
+            completed = arrival
+            if wr.signaled:
+                completed = arrival + self.cost.rdma_completion_overhead
+                comp = Completion(wr_id=wr.wr_id, opcode=Opcode.SEND,
+                                  status=WcStatus.SUCCESS, byte_len=wr.size,
+                                  qp_num=qp.qp_num, timestamp=completed)
+                self.sim.call_at(completed, lambda: qp.send_cq.push(comp))
+            self._trace_verb(qp, wr, completed, posted=posted)
+
+        eb.on_complete = finish
+        ib.on_complete = finish
+
     def _record(self, opcode: Opcode, src_host, dst_host, size: int,
                 start: float, end: float, role: str = "") -> None:
         metrics = src_host.cluster.metrics
@@ -451,13 +793,19 @@ class RdmaNic:
             tracer.metrics.histogram("transfer_size_bytes").observe(size)
 
     def _trace_verb(self, qp: QueuePair, wr: WorkRequest,
-                    completed: float) -> None:
-        """Span from verb post to completion delivery on the QP track."""
+                    completed: float, posted: Optional[float] = None) -> None:
+        """Span from verb post to completion delivery on the QP track.
+
+        The priority paths trace from deferred callbacks, so they pass
+        the post time explicitly; the legacy paths trace synchronously
+        and default to ``sim.now``.
+        """
         tracer = self.host.cluster.tracer
         if tracer is not None:
             tracer.record(
                 "verb", f"{wr.opcode.value} {wr.size}B", self.host.name,
-                f"nic:qp{qp.qp_num}", self.sim.now, completed,
+                f"nic:qp{qp.qp_num}",
+                self.sim.now if posted is None else posted, completed,
                 args={"wr_id": wr.wr_id, "nbytes": wr.size, "role": wr.role,
                       "signaled": wr.signaled})
 

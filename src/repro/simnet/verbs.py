@@ -61,6 +61,10 @@ class WorkRequest:
     #: "dynamic-metadata", "dynamic-payload-read", "collective-chunk",
     #: "control", ...); carried through to metrics and trace spans
     role: str = ""
+    #: wire-scheduling urgency (higher = sooner-needed by its consumer);
+    #: only honoured when the NIC runs the priority quantum scheduler
+    #: (``CostModel.wire_quantum_bytes > 0``), ignored otherwise
+    priority: int = 0
     wr_id: int = field(default_factory=next_wr_id)
 
     def __post_init__(self) -> None:

@@ -53,6 +53,45 @@ class TestPlanBuckets:
     def test_empty_input(self):
         assert plan_buckets([], fusion_bytes=1024) == []
 
+    def test_oversized_variable_at_head(self):
+        # A spill as the very first variable must not leave an empty
+        # leading bucket behind.
+        variables = [var("huge", 1000), var("a", 10), var("b", 10)]
+        buckets = plan_buckets(variables, fusion_bytes=100)
+        assert [tuple(v.name for v in b.variables) for b in buckets] == [
+            ("huge",), ("a", "b")]
+
+    def test_oversized_variable_at_tail(self):
+        variables = [var("a", 10), var("huge", 1000)]
+        buckets = plan_buckets(variables, fusion_bytes=100)
+        assert [tuple(v.name for v in b.variables) for b in buckets] == [
+            ("a",), ("huge",)]
+
+    def test_minimal_budget_isolates_every_variable(self):
+        # fusion_bytes=1: every variable exceeds the budget, so each
+        # spills into its own single-variable bucket, order kept.
+        variables = [var(f"v{i}", 4) for i in range(5)]
+        buckets = plan_buckets(variables, fusion_bytes=1)
+        assert [b.num_variables for b in buckets] == [1] * 5
+        assert [v.name for b in buckets for v in b.variables] == [
+            f"v{i}" for i in range(5)]
+
+    def test_indices_sequential_after_spill(self):
+        variables = [var("a", 10), var("huge", 1000), var("b", 10),
+                     var("also_huge", 2000), var("c", 10)]
+        buckets = plan_buckets(variables, fusion_bytes=100)
+        assert [b.index for b in buckets] == list(range(len(buckets)))
+
+    def test_priority_is_flush_order(self):
+        # Later buckets hold earlier layers' gradients (backward walks
+        # the model back-to-front), so they are needed sooner next
+        # forward: priority == bucket index.
+        variables = [var(f"v{i}", 25) for i in range(6)]
+        buckets = plan_buckets(variables, fusion_bytes=200)
+        assert len(buckets) > 1
+        assert [b.priority for b in buckets] == [b.index for b in buckets]
+        assert buckets[-1].priority == max(b.priority for b in buckets)
+
     def test_real_model_covers_all_variables(self):
         spec = get_model("VGGNet-16")
         buckets = plan_buckets(spec.variables,

@@ -67,6 +67,64 @@ class TestGraphConstruction:
                                            batch_size=8)
 
 
+class TestScheduleConstruction:
+    """Eager vs post-barrier flush and priority tagging."""
+
+    def test_eager_packs_have_no_barrier_edges(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=2,
+                                             batch_size=8, eager_flush=True)
+        packs = [n for n in job.graph if n.op_type == "FusionPack"]
+        assert packs
+        assert all(not n.control_inputs for n in packs)
+        assert job.eager_flush
+
+    def test_barrier_holds_every_pack_behind_backward(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=2,
+                                             batch_size=8, eager_flush=False)
+        packs = [n for n in job.graph if n.op_type == "FusionPack"]
+        assert packs
+        # every pack waits on its own worker's last backward stage
+        for pack in packs:
+            assert len(pack.control_inputs) == 1
+            (gate,) = pack.control_inputs
+            assert gate.device == pack.device
+        assert not job.eager_flush
+
+    def test_barrier_does_not_change_bucket_plan(self, fcn5):
+        eager = build_allreduce_training_graph(fcn5, num_workers=2,
+                                               batch_size=8,
+                                               eager_flush=True)
+        barrier = build_allreduce_training_graph(fcn5, num_workers=2,
+                                                 batch_size=8,
+                                                 eager_flush=False)
+        assert [b.nbytes for b in eager.buckets] == [
+            b.nbytes for b in barrier.buckets]
+
+    def test_fragments_tagged_with_bucket_priority(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=2,
+                                             batch_size=8,
+                                             fusion_bytes=1024 * 1024)
+        assert len(job.buckets) > 1
+        tagged = [n for n in job.graph if "priority" in n.attrs]
+        assert tagged
+        priorities = {n.attrs["priority"] for n in tagged}
+        assert priorities == {b.priority for b in job.buckets}
+        # a bucket's pack node carries that bucket's priority
+        for bucket in job.buckets:
+            pack = job.graph.node(f"w0/pack{bucket.index}")
+            assert pack.attrs["priority"] == bucket.priority
+
+    def test_priority_survives_partitioning(self, fcn5):
+        job = build_allreduce_training_graph(fcn5, num_workers=2,
+                                             batch_size=8,
+                                             fusion_bytes=1024 * 1024)
+        parts = partition(job.graph)
+        sends = [n for sub in parts.subgraphs.values() for n in sub
+                 if n.op_type == "_Send"]
+        assert sends
+        assert any(n.attrs.get("priority", 0) > 0 for n in sends)
+
+
 class TestRunnerStrategies:
     @pytest.mark.parametrize("strategy", ALLREDUCE_ALGORITHMS)
     def test_runs_and_reports_wire_bytes(self, fcn5, strategy):

@@ -151,3 +151,70 @@ class TestSyntheticExecution:
         stats = session.run(iterations=5)
         assert stats.throughput == pytest.approx(100.0, rel=0.05)
         assert len(stats.iteration_times) == 5
+
+
+class _StubNode:
+    def __init__(self, name, op_type="Op", priority=None):
+        self.name = name
+        self.op_type = op_type
+        self.attrs = {} if priority is None else {"priority": priority}
+
+
+class TestReadyQueue:
+    """Unit tests for the executor's priority-aware ready queue."""
+
+    def test_fifo_mode_preserves_order(self):
+        from repro.graph.executor import _ReadyQueue
+        nodes = [_StubNode(f"n{i}") for i in range(5)]
+        queue = _ReadyQueue(nodes, priority=False)
+        assert [queue.popleft().name for _ in range(5)] == [
+            n.name for n in nodes]
+
+    def test_priority_mode_is_fifo_without_priorities(self):
+        from repro.graph.executor import _ReadyQueue
+        nodes = [_StubNode(f"n{i}") for i in range(5)]
+        queue = _ReadyQueue(nodes, priority=True)
+        assert [queue.popleft().name for _ in range(5)] == [
+            n.name for n in nodes]
+
+    def test_urgent_send_jumps_ahead(self):
+        from repro.graph.executor import _ReadyQueue
+        compute = _StubNode("compute")
+        lazy = _StubNode("lazy_send", op_type="_Send", priority=0)
+        urgent = _StubNode("urgent_send", op_type="_Send", priority=7)
+        queue = _ReadyQueue([compute, lazy], priority=True)
+        queue.append(urgent)
+        # the urgent send overtakes the earlier zero-priority send but
+        # NOT compute that was already ready before it
+        assert queue.popleft() is urgent
+        assert queue.popleft() is compute
+        assert queue.popleft() is lazy
+
+    def test_retry_strips_urgency(self):
+        from repro.graph.executor import _ReadyQueue
+        urgent = _StubNode("urgent_send", op_type="_Send", priority=7)
+        compute = _StubNode("compute")
+        queue = _ReadyQueue(priority=True)
+        queue.append(urgent, retry=True)   # a re-enqueued poll miss
+        queue.append(compute)
+        # retries keep plain FIFO order: no starvation, no preemption
+        assert queue.popleft() is urgent
+        assert queue.popleft() is compute
+
+    def test_compute_never_reordered(self):
+        from repro.graph.executor import _ReadyQueue
+        nodes = [_StubNode(f"op{i}", priority=9 - i) for i in range(4)]
+        queue = _ReadyQueue(nodes, priority=True)
+        # priority attrs on non-_Send nodes are ignored
+        assert [queue.popleft().name for _ in range(4)] == [
+            n.name for n in nodes]
+
+    def test_len_and_bool(self):
+        from repro.graph.executor import _ReadyQueue
+        queue = _ReadyQueue(priority=True)
+        assert not queue and len(queue) == 0
+        queue.append(_StubNode("a"))
+        queue.append(_StubNode("s", op_type="_Send", priority=3))
+        assert queue and len(queue) == 2
+        members = {node.name for node in queue}
+        assert members == {"a", "s"}

@@ -54,6 +54,32 @@ class TestCommFlags:
         with pytest.raises(ValueError):
             main(["--num-cqs", "0", "table2"])
 
+    def test_scheduler_flags_configure_comm(self, capsys):
+        from repro.distributed import comm_config
+        assert main(["--fusion-mb", "4", "--priority-sched",
+                     "--no-eager-flush", "table2"]) == 0
+        config = comm_config()
+        assert config.fusion_bytes == 4 * 1024 * 1024
+        assert config.priority_sched is True
+        assert config.eager_flush is False
+
+    def test_fractional_fusion_mb(self, capsys):
+        from repro.distributed import comm_config
+        assert main(["--fusion-mb", "0.5", "table2"]) == 0
+        assert comm_config().fusion_bytes == 512 * 1024
+
+    def test_eager_flush_default_untouched(self, capsys):
+        from repro.distributed import comm_config
+        assert main(["table2"]) == 0
+        # no flag given: the config keeps its defaults
+        assert comm_config().eager_flush is True
+        assert comm_config().priority_sched is False
+        assert comm_config().fusion_bytes is None
+
+    def test_invalid_fusion_mb_rejected(self):
+        with pytest.raises(ValueError):
+            main(["--fusion-mb", "0", "table2"])
+
 
 class TestCaptureFlags:
     def teardown_method(self):

@@ -53,7 +53,8 @@ class TestExperimentResult:
     def test_registry_covers_all_tables_and_figures(self):
         assert set(ALL_EXPERIMENTS) == {
             "table2", "figure7", "figure8", "figure9", "figure10",
-            "figure11", "figure12", "table3", "allreduce", "stallreport"}
+            "figure11", "figure12", "table3", "allreduce", "stallreport",
+            "overlap"}
 
 
 class TestFastExperiments:
@@ -75,3 +76,22 @@ class TestFastExperiments:
         tcp = result.cell("transfer_ms", mechanism="gRPC.TCP",
                           message_bytes=1 * MB)
         assert rdma < tcp
+
+    def test_overlap_single_model(self, tmp_path):
+        import json
+
+        from repro.harness.experiments import overlap
+
+        json_path = tmp_path / "bench.json"
+        result = overlap(models=("FCN-5",), num_servers=2,
+                         json_path=str(json_path))
+        assert len(result.rows) == 1
+        assert result.cell("faster", benchmark="FCN-5") is True
+        barrier = result.cell("barrier_ms", benchmark="FCN-5")
+        eager = result.cell("eager_priority_ms", benchmark="FCN-5")
+        assert eager < barrier
+        payload = json.loads(json_path.read_text())
+        assert payload["model_count"] == 1
+        assert payload["models"][0]["faster"] is True
+        assert payload["models"][0]["eager_overlap_efficiency"] > \
+            payload["models"][0]["barrier_overlap_efficiency"]

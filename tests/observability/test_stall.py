@@ -111,6 +111,102 @@ class TestEndToEndAcceptance:
         assert bench.stall_report() is None
 
 
+class TestOverlapEfficiencyUnit:
+    def test_fully_hidden_wire(self):
+        tracer = Tracer()
+        tracer.account("h0", "executor:w0", 0, "op", 0.0, 1.0)
+        tracer.record("wire", "xfer", "h0", "nic:wire", 0.2, 0.6)
+        tracer.mark_iteration(0, 0.0, 1.0)
+        it = build_stall_report(tracer).iterations[0]
+        assert it.wire_busy == pytest.approx(0.4)
+        assert it.overlap_efficiency == pytest.approx(1.0)
+
+    def test_fully_exposed_wire(self):
+        tracer = Tracer()
+        tracer.account("h0", "executor:w0", 0, "op", 0.0, 0.6)
+        tracer.account("h0", "executor:w0", 0, "wire_wait", 0.6, 1.0)
+        tracer.record("wire", "xfer", "h0", "nic:wire", 0.6, 1.0)
+        tracer.mark_iteration(0, 0.0, 1.0)
+        it = build_stall_report(tracer).iterations[0]
+        assert it.wire_busy == pytest.approx(0.4)
+        assert it.overlap_efficiency == pytest.approx(0.0)
+
+    def test_concurrent_wires_not_double_counted(self):
+        tracer = Tracer()
+        tracer.account("h0", "executor:w0", 0, "op", 0.0, 1.0)
+        # two NICs busy over overlapping windows: union is [0.1, 0.5]
+        tracer.record("wire", "a", "h0", "nic:wire", 0.1, 0.4)
+        tracer.record("wire", "b", "h1", "nic:wire", 0.2, 0.5)
+        tracer.mark_iteration(0, 0.0, 1.0)
+        it = build_stall_report(tracer).iterations[0]
+        assert it.wire_busy == pytest.approx(0.4)
+
+    def test_spans_clipped_to_window(self):
+        tracer = Tracer()
+        tracer.account("h0", "executor:w0", 1, "op", 1.0, 2.0)
+        # the transfer straddles the iteration boundary
+        tracer.record("wire", "x", "h0", "nic:wire", 0.8, 1.3)
+        tracer.mark_iteration(1, 1.0, 2.0)
+        it = build_stall_report(tracer).iterations[0]
+        assert it.wire_busy == pytest.approx(0.3)
+
+    def test_no_wire_means_no_efficiency(self):
+        tracer = Tracer()
+        tracer.account("h0", "executor:w0", 0, "op", 0.0, 1.0)
+        tracer.mark_iteration(0, 0.0, 1.0)
+        report = build_stall_report(tracer)
+        assert report.iterations[0].overlap_efficiency is None
+        assert report.overlap_efficiency() is None
+        assert "overlap efficiency" not in report.render()
+
+
+class TestPrioritySchedulerAcceptance:
+    """The end-to-end invariants must survive the priority scheduler."""
+
+    @pytest.fixture(scope="class")
+    def traced_bench(self):
+        return run_training_benchmark(
+            get_model("FCN-5"), "RDMA", num_servers=2, batch_size=32,
+            iterations=3, strategy="ring", fusion_bytes=8 * 1024 * 1024,
+            priority_sched=True, eager_flush=True, collect_trace=True)
+
+    def test_components_still_sum_exactly(self, traced_bench):
+        assert not traced_bench.crashed
+        report = traced_bench.stall_report()
+        assert len(report.iterations) == 3
+        for it, measured in zip(report.iterations,
+                                traced_bench.stats.iteration_times):
+            assert it.duration == pytest.approx(measured)
+            assert it.accounted == pytest.approx(measured, rel=1e-2)
+
+    def test_tracing_does_not_perturb_the_clock(self, traced_bench):
+        untraced = run_training_benchmark(
+            get_model("FCN-5"), "RDMA", num_servers=2, batch_size=32,
+            iterations=3, strategy="ring", fusion_bytes=8 * 1024 * 1024,
+            priority_sched=True, eager_flush=True)
+        assert (untraced.stats.iteration_times
+                == traced_bench.stats.iteration_times)
+
+    def test_overlap_efficiency_in_range(self, traced_bench):
+        report = traced_bench.stall_report()
+        efficiency = report.overlap_efficiency()
+        assert efficiency is not None
+        assert 0.0 <= efficiency <= 1.0
+        for it in report.iterations:
+            assert it.wire_busy > 0.0
+            assert it.wire_busy <= it.duration + 1e-9
+
+    def test_scheduler_raises_overlap_efficiency(self, traced_bench):
+        barrier = run_training_benchmark(
+            get_model("FCN-5"), "RDMA", num_servers=2, batch_size=32,
+            iterations=3, strategy="ring", fusion_bytes=8 * 1024 * 1024,
+            priority_sched=False, eager_flush=False, collect_trace=True)
+        barrier_eff = barrier.stall_report().overlap_efficiency()
+        eager_eff = traced_bench.stall_report().overlap_efficiency()
+        assert eager_eff > barrier_eff
+        assert traced_bench.step_time < barrier.step_time
+
+
 class TestDynamicProtocolSpans:
     def test_dynamic_edges_emit_metadata_and_read_phases(self):
         bench = run_training_benchmark(
