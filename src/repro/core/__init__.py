@@ -9,6 +9,7 @@ from .analyzer import (DevicePlan, EdgePlan, RdmaGraphAnalyzer,
 from .device import (DeviceError, Direction, MemRegion, RdmaChannel,
                      RdmaDevice, RemoteMemRegion)
 from .rdma_comm import RdmaCommRuntime
+from .recovery import RecoveryManager, RecoveryStats, RetryPolicy
 from .tracing import AllocationSiteTracer
 from .transfer import (DynamicReceiver, DynamicSender, StaticReceiver,
                        StaticSender, TransferState)
@@ -17,6 +18,7 @@ __all__ = [
     "AddressBook", "AllocationSiteTracer", "DevicePlan", "DeviceError",
     "Direction", "DynamicReceiver", "DynamicSender", "EdgePlan", "MemRegion",
     "RdmaChannel", "RdmaCommRuntime", "RdmaDevice", "RdmaGraphAnalyzer",
-    "RemoteMemRegion", "StaticReceiver", "StaticSender", "TransferState",
+    "RecoveryManager", "RecoveryStats", "RemoteMemRegion", "RetryPolicy",
+    "StaticReceiver", "StaticSender", "TransferState",
     "attach_address_book", "find_static_source",
 ]

@@ -104,6 +104,104 @@ class RdmaChannel:
         self.qp = qp
         self.qp_idx = qp_idx
         self.bytes_transferred = 0
+        #: set by the recovery layer when it gives up on RDMA for this
+        #: channel; later transfers take :meth:`fallback_transfer`
+        self.degraded = False
+        self.reconnects = 0
+
+    @property
+    def broken(self) -> bool:
+        """Whether the underlying QP is in the error state."""
+        return self.qp.broken
+
+    def reconnect(self) -> None:
+        """Re-establish a broken queue pair (both ends).
+
+        Fresh QPs are created on the same CQs as the old pair and the
+        peer's mirror channel is swapped too, so both directions of the
+        library stay paired.  The simulated duration of the transition
+        (``CostModel.qp_reestablish_time``) is charged by the caller.
+        """
+        peer_device = RdmaDevice.lookup(self.device.host, self.peer)
+        mirror = peer_device._channels.get((self.device.endpoint, self.qp_idx))
+        old_remote = self.qp.remote
+        local_qp = self.device.host.nic.create_qp(self.qp.send_cq,
+                                                  self.qp.recv_cq)
+        if old_remote is not None:
+            remote_qp = peer_device.host.nic.create_qp(old_remote.send_cq,
+                                                       old_remote.recv_cq)
+        else:  # pragma: no cover - channels are always paired
+            remote_qp = peer_device.host.nic.create_qp(peer_device.cqs[0])
+        local_qp.connect(remote_qp)
+        self.qp = local_qp
+        self.reconnects += 1
+        if mirror is not None:
+            mirror.qp = remote_qp
+            mirror.reconnects += 1
+
+    def fallback_transfer(self, *, local_addr: int, remote_addr: int,
+                          size: int, direction: Direction,
+                          inline_data: Optional[bytes] = None,
+                          role: str = "") -> Generator:
+        """Process: move the bytes over the kernel TCP path instead.
+
+        Graceful degradation for a persistently failing RDMA channel:
+        charges the real TCP costs (syscalls, socket-buffer copies,
+        wire time), commits the bytes straight into the destination
+        address space, and wakes the destination host's pollers —
+        semantically equivalent to the WRITE/READ it replaces, only
+        slower.  Use as ``yield from channel.fallback_transfer(...)``.
+        """
+        from ..simnet.nic import RdmaNic
+
+        sim = self.device.sim
+        cost = self.device.cost
+        local_host = self.device.host
+        remote_host = RdmaDevice.lookup(local_host, self.peer).host
+        if direction is Direction.LOCAL_TO_REMOTE:
+            src_host, dst_host = local_host, remote_host
+            src_addr, dst_addr = local_addr, remote_addr
+        else:
+            src_host, dst_host = remote_host, local_host
+            src_addr, dst_addr = remote_addr, local_addr
+        if inline_data is not None:
+            payload: Optional[bytes] = bytes(inline_data)
+            head = tail = b""
+        else:
+            src_buf, src_off = src_host.address_space.resolve(
+                src_addr, max(size, 1))
+            payload, head, tail = RdmaNic._edge_payload(
+                src_buf.backing, src_off, size)
+        yield from src_host.cpu.run(cost.tcp_send_time(size))
+        start, _ = src_host.tcp.egress.reserve(sim.now, size)
+        data_ready = start + cost.tcp_base_latency + size / cost.tcp_bandwidth
+        arrival = dst_host.tcp.ingress.reserve_after(
+            start + cost.tcp_base_latency, size, data_ready)
+        metrics = local_host.cluster.metrics
+        if metrics is not None:
+            metrics.record_transfer("TCP", src_host.name, dst_host.name,
+                                    size, start, arrival,
+                                    role=role or "tcp-fallback")
+        tracer = local_host.cluster.tracer
+        if tracer is not None:
+            tracer.record("wire", f"TCP-fallback {size}B", src_host.name,
+                          "tcp:wire", start, arrival,
+                          args={"dst": dst_host.name, "nbytes": size,
+                                "role": role or "tcp-fallback"})
+        yield sim.timeout(max(arrival - sim.now, 0.0))
+        yield from dst_host.cpu.run(cost.tcp_recv_time(size))
+        dst_buf, dst_off = dst_host.address_space.resolve(dst_addr,
+                                                          max(size, 1))
+        if payload is not None:
+            dst_buf.backing.write(dst_off, payload)
+        else:
+            dst_buf.backing.write_virtual(dst_off, size)
+            if head:
+                dst_buf.backing.write(dst_off, head)
+            if tail:
+                dst_buf.backing.write(dst_off + size - len(tail), tail)
+        self.bytes_transferred += size
+        dst_host.notify_memory_commit()
 
     def memcpy(self, local_addr: int, local_region: Optional[MemRegion],
                remote_addr: int, remote_region: RemoteMemRegion, size: int,

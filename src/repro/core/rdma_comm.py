@@ -25,6 +25,7 @@ from ..simnet.topology import Endpoint
 from .address_book import attach_address_book
 from .analyzer import DevicePlan, RdmaGraphAnalyzer
 from .device import DeviceError, MemRegion, RdmaDevice
+from .recovery import RecoveryManager, RetryPolicy
 from .tracing import AllocationSiteTracer
 from .transfer import (DynamicReceiver, DynamicSender, StaticReceiver,
                        StaticSender, TransferState)
@@ -39,7 +40,8 @@ class RdmaCommRuntime(CommRuntime):
     def __init__(self, zero_copy: bool = True, num_cqs: int = 4,
                  num_qps_per_peer: int = 4, gpu_tensors: bool = False,
                  gpudirect: bool = False, force_dynamic: bool = False,
-                 dynamic_headroom: Optional[int] = None) -> None:
+                 dynamic_headroom: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if gpudirect and not gpu_tensors:
             raise DeviceError("gpudirect requires gpu_tensors")
         self.zero_copy = zero_copy
@@ -61,6 +63,11 @@ class RdmaCommRuntime(CommRuntime):
         self.senders: Dict[str, object] = {}
         self.receivers: Dict[str, object] = {}
         self.registration_seconds = 0.0
+        self.retry_policy = retry_policy
+        #: built in :meth:`prepare` iff the cluster's fault plane is
+        #: armed; None keeps every protocol on its legacy (bit-identical)
+        #: code path
+        self.recovery: Optional[RecoveryManager] = None
 
     # -- setup -------------------------------------------------------------------------
 
@@ -73,6 +80,12 @@ class RdmaCommRuntime(CommRuntime):
                                      force_dynamic=self.force_dynamic,
                                      **kwargs)
         plans = analyzer.plan()
+
+        plane = session.cluster.fault_plane
+        if plane is not None and plane.armed:
+            self.recovery = RecoveryManager(
+                session.sim, session.cluster.cost,
+                policy=self.retry_policy, tracer=session.cluster.tracer)
 
         for index, device_name in enumerate(sorted(session.executors)):
             executor = session.executors[device_name]
@@ -124,7 +137,8 @@ class RdmaCommRuntime(CommRuntime):
                                 recv_node.attrs["shape"],
                                 arena_buffer, offset=offset)
                 receiver = StaticReceiver(tensor,
-                                          flag_offset_in_buffer=offset + nbytes)
+                                          flag_offset_in_buffer=offset + nbytes,
+                                          epochs=self.recovery is not None)
                 book.publish_raw(edge.key, addr=tensor.addr,
                                  rkey=region.rkey, size=nbytes + 1)
                 executor.preallocated_recv[edge.key] = tensor
@@ -140,7 +154,9 @@ class RdmaCommRuntime(CommRuntime):
                     meta_region=slot, ndims=ndims, channel=channel,
                     arena=executor.arena, arena_region=region,
                     dtype=recv_node.attrs["dtype"],
-                    priority=recv_node.attrs.get("priority", 0))
+                    priority=recv_node.attrs.get("priority", 0),
+                    epochs=self.recovery is not None,
+                    recovery=self.recovery)
                 book.publish(f"{edge.key}#meta", slot)
             self.receivers[edge.key] = receiver
 
@@ -178,13 +194,21 @@ class RdmaCommRuntime(CommRuntime):
                     channel=channel, remote=descriptor,
                     nbytes=edge.nbytes_static, arena=arena,
                     arena_region=region, state=self.state,
-                    role=role, key=edge.key, priority=priority)
+                    role=role, key=edge.key, priority=priority,
+                    recovery=self.recovery)
             else:
                 ndims = send_node.inputs[0].shape.rank
                 self.senders[edge.key] = DynamicSender(
                     channel=channel, meta_slot=descriptor, ndims=ndims,
                     arena=arena, arena_region=region, state=self.state,
-                    key=edge.key, priority=priority)
+                    key=edge.key, priority=priority,
+                    recovery=self.recovery)
+
+    def recovery_snapshot(self) -> Optional[Dict[str, object]]:
+        """Retry/fallback counters for ``RunStats.faults`` (or None)."""
+        if self.recovery is None:
+            return None
+        return self.recovery.snapshot()
 
     def _qp_for(self, key: str) -> int:
         # crc32 rather than hash(): Python string hashing is salted

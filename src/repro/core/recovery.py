@@ -1,0 +1,212 @@
+"""Retriable RDMA transfers: timeout, backoff, re-issue, degradation.
+
+The paper's transfer protocols (§3.2/§3.3) assume the fabric never
+fails; this module makes them survive the faults that
+:mod:`repro.simnet.faults` injects.  A :class:`RecoveryManager` wraps a
+channel memcpy in a retry loop:
+
+* every attempt races the verb's completion against a per-transfer
+  timeout scaled to the transfer size (so a blackholed verb — no CQE at
+  all — is still detected);
+* failed or timed-out attempts back off exponentially (capped) and
+  re-issue; payload re-writes are idempotent because the simulated
+  fabric never signals success without committing the bytes, and the
+  flag byte always trails the payload;
+* a broken queue pair is re-established (``qp_reestablish_time``)
+  before the re-issue;
+* when the retry budget is exhausted the channel **degrades**: this and
+  every later transfer on it take the kernel TCP path
+  (:meth:`RdmaChannel.fallback_transfer`), trading bandwidth for
+  progress.  With ``tcp_fallback`` disabled the failure is raised to
+  the caller instead.
+
+Safety against torn writes comes from the protocols, not from here:
+the NIC commits in ascending address order and an injected partial
+write never lands the tail window, so a receiver polling the trailing
+flag byte can never observe a half-landed payload.  In recovery mode
+the flag carries an *epoch* (1..255, cycling) instead of a bare 1, so a
+stale duplicate from a timed-out-but-delivered attempt can never be
+consumed twice (see ``transfer.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from ..simnet.costmodel import CostModel
+from ..simnet.simulator import Simulator
+from .device import DeviceError, Direction, MemRegion, RdmaChannel, RemoteMemRegion
+
+
+#: sentinel yielded by the timeout leg of the completion race
+_TIMEOUT = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for the retry loop (all times in seconds)."""
+
+    #: re-issues after the first attempt; exhausting this degrades the
+    #: channel to TCP (or raises, with ``tcp_fallback`` off)
+    max_retries: int = 4
+    #: per-attempt timeout: ``timeout_base + size * timeout_per_byte``.
+    #: The timeout only has to catch *blackholes* (a lost verb with no
+    #: CQE); every other fault surfaces as an immediate error CQE.  The
+    #: base is therefore deliberately generous — it must exceed the
+    #: fabric's worst-case queueing (a small write stuck behind a full
+    #: model's worth of bulk transfers), or spurious timeouts inject
+    #: duplicate traffic that compounds the backlog.  Real NICs size
+    #: their ACK timeout × retry budget in the same tens-of-ms range.
+    timeout_base: float = 20e-3
+    timeout_per_byte: float = 1e-9
+    #: capped exponential backoff between attempts
+    backoff_base: float = 20e-6
+    backoff_factor: float = 2.0
+    backoff_max: float = 500e-6
+    #: degrade a persistently failing channel to the kernel TCP path
+    tcp_fallback: bool = True
+
+    def attempt_timeout(self, size: int) -> float:
+        return self.timeout_base + size * self.timeout_per_byte
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before re-issue number ``attempt`` (1-based)."""
+        delay = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        return min(delay, self.backoff_max)
+
+
+@dataclass
+class RecoveryStats:
+    """Counters the chaos tests assert against (JSON-able)."""
+
+    retries: int = 0
+    timeouts: int = 0
+    failed_completions: int = 0
+    qp_reconnects: int = 0
+    fallback_transfers: int = 0
+    channels_degraded: int = 0
+    gave_up: int = 0
+    retries_by_role: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failed_completions": self.failed_completions,
+            "qp_reconnects": self.qp_reconnects,
+            "fallback_transfers": self.fallback_transfers,
+            "channels_degraded": self.channels_degraded,
+            "gave_up": self.gave_up,
+            "retries_by_role": dict(self.retries_by_role),
+        }
+
+
+class RecoveryManager:
+    """Executes channel memcpys with timeout/retry/degradation."""
+
+    def __init__(self, sim: Simulator, cost: CostModel,
+                 policy: Optional[RetryPolicy] = None,
+                 tracer=None) -> None:
+        self.sim = sim
+        self.cost = cost
+        self.policy = policy or RetryPolicy()
+        self.tracer = tracer
+        self.stats = RecoveryStats()
+
+    # -- the retry loop ----------------------------------------------------------
+
+    def reliable_memcpy(self, channel: RdmaChannel, *,
+                        local_addr: int = 0,
+                        local_region: Optional[MemRegion] = None,
+                        remote_addr: int = 0,
+                        remote_region: Optional[RemoteMemRegion] = None,
+                        size: int,
+                        direction: Direction,
+                        inline_data: Optional[bytes] = None,
+                        role: str = "", priority: int = 0) -> Generator:
+        """Process: one logical transfer, retried until it lands.
+
+        Use as ``yield from recovery.reliable_memcpy(...)``.  Returns
+        once the bytes are at the destination — over RDMA if any
+        attempt succeeds, over TCP once the channel degrades.  Raises
+        :class:`DeviceError` only when the budget is exhausted and TCP
+        fallback is disabled.
+        """
+        policy = self.policy
+        limit = policy.attempt_timeout(size)
+        attempt = 0
+        while True:
+            if channel.degraded:
+                yield from self._fallback(channel, local_addr, remote_addr,
+                                          size, direction, inline_data, role)
+                return
+            event = channel.memcpy_event(
+                local_addr, local_region, remote_addr, remote_region, size,
+                direction, inline_data=inline_data, role=role,
+                priority=priority)
+            started = self.sim.now
+            failure: Optional[str] = None
+            try:
+                result = yield self.sim.any_of(
+                    [event, self.sim.timeout(limit, _TIMEOUT)])
+            except DeviceError as exc:
+                self.stats.failed_completions += 1
+                failure = str(exc)
+            else:
+                if result is _TIMEOUT:
+                    # No CQE at all (blackholed verb, or a straggler
+                    # pushed past the deadline); the attempt is written
+                    # off and re-issued — idempotent, because success is
+                    # never signaled without the bytes committing.
+                    self.stats.timeouts += 1
+                    failure = "timeout"
+            if failure is None:
+                return
+            attempt += 1
+            if attempt > policy.max_retries:
+                self.stats.gave_up += 1
+                if not policy.tcp_fallback:
+                    raise DeviceError(
+                        f"transfer failed after {policy.max_retries} "
+                        f"retries: {failure}")
+                if not channel.degraded:
+                    channel.degraded = True
+                    self.stats.channels_degraded += 1
+                continue
+            self.stats.retries += 1
+            self.stats.retries_by_role[role] = \
+                self.stats.retries_by_role.get(role, 0) + 1
+            yield self.sim.timeout(policy.backoff_delay(attempt))
+            if channel.broken:
+                yield self.sim.timeout(self.cost.qp_reestablish_time)
+                channel.reconnect()
+                self.stats.qp_reconnects += 1
+            self._trace_retry(channel, role, size, attempt, failure, started)
+
+    def _fallback(self, channel: RdmaChannel, local_addr: int,
+                  remote_addr: int, size: int, direction: Direction,
+                  inline_data: Optional[bytes], role: str) -> Generator:
+        self.stats.fallback_transfers += 1
+        if self.tracer is not None:
+            self.tracer.metrics.counter("tcp_fallbacks").add(1)
+        yield from channel.fallback_transfer(
+            local_addr=local_addr, remote_addr=remote_addr, size=size,
+            direction=direction, inline_data=inline_data, role=role)
+
+    def _trace_retry(self, channel: RdmaChannel, role: str, size: int,
+                     attempt: int, failure: str, started: float) -> None:
+        if self.tracer is None:
+            return
+        host = channel.device.host.name
+        self.tracer.record(
+            "retry", f"retry#{attempt} {role or 'transfer'}", host,
+            f"recovery:{host}", started, self.sim.now,
+            args={"role": role, "size": size, "attempt": attempt,
+                  "cause": failure, "peer": str(channel.peer)})
+        self.tracer.metrics.counter("transfer_retries").add(1)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.stats.to_dict()

@@ -39,10 +39,22 @@ from ..graph.transfer_api import Outcome
 from ..simnet.simulator import Event
 from .device import (DeviceError, Direction, MemRegion, RdmaChannel,
                      RemoteMemRegion)
+from .recovery import RecoveryManager
 
 
 FLAG_SET = b"\x01"
 FLAG_CLEAR = b"\x00"
+
+
+def _next_epoch(epoch: int) -> int:
+    """Advance a flag epoch, cycling 1..255 (0 is always "empty").
+
+    In recovery mode the flag byte carries an epoch rather than a bare
+    1: a retried attempt re-writes the *same* epoch, so a stale
+    duplicate that lands after the receiver consumed it (and after the
+    sender moved on) can never be mistaken for the next transfer.
+    """
+    return epoch % 255 + 1
 
 
 class TransferState:
@@ -83,7 +95,8 @@ class StaticSender:
                  state: TransferState,
                  staging_delay: Callable[[int], float] = None,
                  role: str = "static-write", key: str = "",
-                 priority: int = 0) -> None:
+                 priority: int = 0,
+                 recovery: Optional[RecoveryManager] = None) -> None:
         self.channel = channel
         self.remote = remote
         self.nbytes = nbytes
@@ -93,6 +106,8 @@ class StaticSender:
         self.role = role
         self.key = key
         self.priority = priority
+        self.recovery = recovery
+        self._epoch = 0
         if remote.size < nbytes + 1:
             raise DeviceError(
                 f"remote region of {remote.size} bytes cannot hold "
@@ -136,6 +151,11 @@ class StaticSender:
         # "flag is the last byte delivered" guarantee.
         wr_local_region = _RegionRef(self.arena_region, local_addr)
         proto_start = executor.sim.now
+        if self.recovery is not None:
+            return Outcome.wait(executor.sim.spawn(
+                self._send_reliable(executor, wr_local_region, local_addr,
+                                    staging_offset, proto_start),
+                name=f"reliable-send-{self.key or self.role}"))
         self.channel.memcpy(
             local_addr=local_addr, local_region=wr_local_region,
             remote_addr=self.remote.addr, remote_region=self.remote,
@@ -170,6 +190,43 @@ class StaticSender:
         flag_event.add_callback(on_flag)
         return Outcome.wait(done)
 
+    def _send_reliable(self, executor: Executor, wr_local_region,
+                       local_addr: int, staging_offset: Optional[int],
+                       proto_start: float) -> Generator:
+        """Recovery-mode tail of :meth:`send` (fault plane armed).
+
+        The payload is confirmed (its own CQE, retried as needed)
+        *before* the flag is posted, so a lost payload can never be
+        hidden behind a flag that landed; the flag then carries this
+        edge's next epoch.
+        """
+        yield from self.recovery.reliable_memcpy(
+            self.channel, local_addr=local_addr,
+            local_region=wr_local_region, remote_addr=self.remote.addr,
+            remote_region=self.remote, size=self.nbytes,
+            direction=Direction.LOCAL_TO_REMOTE, role=self.role,
+            priority=self.priority)
+        self._epoch = _next_epoch(self._epoch)
+        yield from self.recovery.reliable_memcpy(
+            self.channel, remote_addr=self.remote.addr + self.nbytes,
+            remote_region=self.remote, size=1,
+            direction=Direction.LOCAL_TO_REMOTE,
+            inline_data=bytes([self._epoch]), role=self.role,
+            priority=self.priority)
+        if staging_offset is not None:
+            self.arena.free_block(staging_offset)
+        tracer = executor.host.cluster.tracer
+        if tracer is not None:
+            category = ("collective" if self.role == "collective-chunk"
+                        else "protocol")
+            tracer.record(
+                category, self.key or f"static {self.nbytes}B",
+                executor.host.name, protocol_track(executor.device),
+                proto_start, executor.sim.now,
+                args={"nbytes": self.nbytes, "role": self.role,
+                      "phase": "write+flag", "epoch": self._epoch})
+        return []
+
 
 class _RegionRef:
     """Adapter giving a MemRegion-compatible lkey for arena interiors."""
@@ -180,21 +237,34 @@ class _RegionRef:
 
 
 class StaticReceiver:
-    """Receiver half: preallocated tensor + tail flag, polled."""
+    """Receiver half: preallocated tensor + tail flag, polled.
 
-    def __init__(self, tensor: Tensor, flag_offset_in_buffer: int) -> None:
+    With ``epochs`` (recovery mode) the flag byte must equal the next
+    expected epoch, not merely be non-zero: a stale duplicate flag from
+    a retried attempt carries an already-consumed epoch and is ignored.
+    """
+
+    def __init__(self, tensor: Tensor, flag_offset_in_buffer: int,
+                 epochs: bool = False) -> None:
         self.tensor = tensor
         self.flag_offset = flag_offset_in_buffer
+        self.epochs = epochs
+        self._expect = 1
         self.receives = 0
 
     def poll(self) -> bool:
-        return self.tensor.buffer.backing.read_byte(self.flag_offset) == 1
+        byte = self.tensor.buffer.backing.read_byte(self.flag_offset)
+        if self.epochs:
+            return byte == self._expect
+        return byte == 1
 
     def make_outcome(self, executor: Executor,
                      extra_delay: float = 0.0) -> Outcome:
         def complete() -> Outcome:
             # Clear the flag for the next iteration's transfer.
             self.tensor.buffer.backing.write(self.flag_offset, FLAG_CLEAR)
+            if self.epochs:
+                self._expect = _next_epoch(self._expect)
             self.receives += 1
             if extra_delay <= 0:
                 return Outcome.done([self.tensor])
@@ -212,7 +282,8 @@ class DynamicSender:
     def __init__(self, channel: RdmaChannel, meta_slot: RemoteMemRegion,
                  ndims: int, arena: ArenaAllocator, arena_region: MemRegion,
                  state: TransferState, key: str = "",
-                 priority: int = 0) -> None:
+                 priority: int = 0,
+                 recovery: Optional[RecoveryManager] = None) -> None:
         self.channel = channel
         self.meta_slot = meta_slot
         self.ndims = ndims
@@ -221,6 +292,8 @@ class DynamicSender:
         self.state = state
         self.key = key
         self.priority = priority
+        self.recovery = recovery
+        self._epoch = 0
         expected = TensorMeta.slot_size(ndims)
         if meta_slot.size < expected:
             raise DeviceError(
@@ -267,12 +340,21 @@ class DynamicSender:
         # Pack the (small, fixed-size) metadata — §3.3 counts this as
         # the protocol's extra overhead versus static placement.  It is
         # a fixed struct, not a general serializer: near-memcpy cost.
-        encoded = meta.encode() + FLAG_SET
+        if self.recovery is not None:
+            self._epoch = _next_epoch(self._epoch)
+            flag = bytes([self._epoch])
+        else:
+            flag = FLAG_SET
+        encoded = meta.encode() + flag
         pack_start = executor.sim.now
         yield executor.sim.timeout(
             executor.cost.memcpy_time(len(encoded)))
         _account_serialization(executor, pack_start, "meta-pack")
         proto_start = executor.sim.now
+        if self.recovery is not None:
+            return Outcome.wait(executor.sim.spawn(
+                self._send_reliable(executor, encoded, proto_start),
+                name=f"reliable-meta-{self.key or 'dynamic'}"))
         event = self.channel.memcpy_event(
             local_addr=0, local_region=None,
             remote_addr=self.meta_slot.addr, remote_region=self.meta_slot,
@@ -299,6 +381,29 @@ class DynamicSender:
         event.add_callback(on_meta)
         return Outcome.wait(done)
 
+    def _send_reliable(self, executor: Executor, encoded: bytes,
+                       proto_start: float) -> Generator:
+        """Recovery-mode metadata write (single inline meta+flag write).
+
+        The flag trails the metadata in one write, so a torn write
+        never exposes a flag without its metadata; a retry re-sends the
+        identical bytes (same epoch), which is idempotent.
+        """
+        yield from self.recovery.reliable_memcpy(
+            self.channel, remote_addr=self.meta_slot.addr,
+            remote_region=self.meta_slot, size=len(encoded),
+            direction=Direction.LOCAL_TO_REMOTE, inline_data=encoded,
+            role="dynamic-metadata", priority=self.priority)
+        tracer = executor.host.cluster.tracer
+        if tracer is not None:
+            tracer.record(
+                "protocol", self.key or "dynamic-meta", executor.host.name,
+                protocol_track(executor.device), proto_start,
+                executor.sim.now,
+                args={"nbytes": len(encoded), "role": "dynamic-metadata",
+                      "phase": "metadata-write", "epoch": self._epoch})
+        return []
+
     def _release_staging(self) -> None:
         for offset in getattr(self, "_pending_staging", []):
             self.arena.free_block(offset)
@@ -311,7 +416,8 @@ class DynamicReceiver:
     def __init__(self, meta_region: MemRegion, ndims: int,
                  channel: RdmaChannel, arena: ArenaAllocator,
                  arena_region: MemRegion, dtype: DType,
-                 priority: int = 0) -> None:
+                 priority: int = 0, epochs: bool = False,
+                 recovery: Optional[RecoveryManager] = None) -> None:
         self.meta_region = meta_region
         self.ndims = ndims
         self.channel = channel
@@ -319,17 +425,25 @@ class DynamicReceiver:
         self.arena_region = arena_region
         self.dtype = dtype
         self.priority = priority
+        self.epochs = epochs
+        self.recovery = recovery
+        self._expect = 1
         self.flag_offset = TensorMeta.encoded_size(ndims)
         self.receives = 0
         self._last_tensor: Optional[Tensor] = None
 
     def poll(self) -> bool:
-        return self.meta_region.buffer.backing.read_byte(self.flag_offset) == 1
+        byte = self.meta_region.buffer.backing.read_byte(self.flag_offset)
+        if self.epochs:
+            return byte == self._expect
+        return byte == 1
 
     def make_outcome(self, executor: Executor, node_name: str,
                      extra_delay: float = 0.0) -> Outcome:
         def complete() -> Outcome:
             self.meta_region.buffer.backing.write(self.flag_offset, FLAG_CLEAR)
+            if self.epochs:
+                self._expect = _next_epoch(self._expect)
             raw = self.meta_region.read(0, self.flag_offset)
             meta = TensorMeta.decode(raw)
             self.receives += 1
@@ -354,14 +468,25 @@ class DynamicReceiver:
                                          rkey=meta.remote_rkey,
                                          size=meta.data_nbytes)
                 read_start = executor.sim.now
-                read_done = self.channel.memcpy_event(
-                    local_addr=tensor.addr,
-                    local_region=_RegionRef(self.arena_region, tensor.addr),
-                    remote_addr=meta.remote_addr, remote_region=remote,
-                    size=meta.data_nbytes,
-                    direction=Direction.REMOTE_TO_LOCAL,
-                    role="dynamic-payload-read", priority=self.priority)
-                yield read_done
+                if self.recovery is not None:
+                    yield from self.recovery.reliable_memcpy(
+                        self.channel, local_addr=tensor.addr,
+                        local_region=_RegionRef(self.arena_region,
+                                                tensor.addr),
+                        remote_addr=meta.remote_addr, remote_region=remote,
+                        size=meta.data_nbytes,
+                        direction=Direction.REMOTE_TO_LOCAL,
+                        role="dynamic-payload-read", priority=self.priority)
+                else:
+                    read_done = self.channel.memcpy_event(
+                        local_addr=tensor.addr,
+                        local_region=_RegionRef(self.arena_region,
+                                                tensor.addr),
+                        remote_addr=meta.remote_addr, remote_region=remote,
+                        size=meta.data_nbytes,
+                        direction=Direction.REMOTE_TO_LOCAL,
+                        role="dynamic-payload-read", priority=self.priority)
+                    yield read_done
                 tracer = executor.host.cluster.tracer
                 if tracer is not None:
                     tracer.record(

@@ -17,7 +17,9 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from ..core.rdma_comm import RdmaCommRuntime
+from ..core.recovery import RetryPolicy
 from ..graph.session import RunStats, Session
+from ..simnet.faults import FaultInjector
 from ..observability.capture import capture_enabled, capture_run
 from ..observability.stall import StallReport, build_stall_report
 from ..observability.tracer import Tracer
@@ -61,6 +63,33 @@ class CommConfig:
     #: flush each fusion bucket's allreduce as soon as its last gradient
     #: is produced; False holds every reduction behind a backward barrier
     eager_flush: bool = True
+    #: fault-injection schedule (``--fault-spec`` syntax, see
+    #: :func:`repro.simnet.faults.parse_fault_spec`); None disables the
+    #: fault plane entirely and keeps runs bit-identical to the default
+    fault_spec: Optional[str] = None
+    #: RNG seed for probabilistic fault rules (``--fault-seed``)
+    fault_seed: int = 0
+    #: recovery-layer overrides; None keeps ``RetryPolicy`` defaults
+    retry_limit: Optional[int] = None
+    retry_timeout: Optional[float] = None
+    retry_backoff: Optional[float] = None
+    tcp_fallback: Optional[bool] = None
+
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The configured recovery policy (None = library defaults)."""
+        if (self.retry_limit is None and self.retry_timeout is None
+                and self.retry_backoff is None and self.tcp_fallback is None):
+            return None
+        default = RetryPolicy()
+        return RetryPolicy(
+            max_retries=(self.retry_limit if self.retry_limit is not None
+                         else default.max_retries),
+            timeout_base=(self.retry_timeout if self.retry_timeout is not None
+                          else default.timeout_base),
+            backoff_base=(self.retry_backoff if self.retry_backoff is not None
+                          else default.backoff_base),
+            tcp_fallback=(self.tcp_fallback if self.tcp_fallback is not None
+                          else default.tcp_fallback))
 
 
 _COMM_CONFIG = CommConfig()
@@ -76,7 +105,13 @@ def configure_comm(num_cqs: Optional[int] = None,
                    backend: Optional[str] = None,
                    fusion_bytes: Optional[int] = None,
                    priority_sched: Optional[bool] = None,
-                   eager_flush: Optional[bool] = None) -> CommConfig:
+                   eager_flush: Optional[bool] = None,
+                   fault_spec: Optional[str] = None,
+                   fault_seed: Optional[int] = None,
+                   retry_limit: Optional[int] = None,
+                   retry_timeout: Optional[float] = None,
+                   retry_backoff: Optional[float] = None,
+                   tcp_fallback: Optional[bool] = None) -> CommConfig:
     """Override selected comm-runtime knobs; returns the new config."""
     global _COMM_CONFIG
     changes = {}
@@ -101,6 +136,27 @@ def configure_comm(num_cqs: Optional[int] = None,
         changes["priority_sched"] = priority_sched
     if eager_flush is not None:
         changes["eager_flush"] = eager_flush
+    if fault_spec is not None:
+        # Validate eagerly so a bad --fault-spec fails at configure time.
+        from ..simnet.faults import parse_fault_spec
+        parse_fault_spec(fault_spec)
+        changes["fault_spec"] = fault_spec or None
+    if fault_seed is not None:
+        changes["fault_seed"] = fault_seed
+    if retry_limit is not None:
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be non-negative")
+        changes["retry_limit"] = retry_limit
+    if retry_timeout is not None:
+        if retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        changes["retry_timeout"] = retry_timeout
+    if retry_backoff is not None:
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        changes["retry_backoff"] = retry_backoff
+    if tcp_fallback is not None:
+        changes["tcp_fallback"] = tcp_fallback
     _COMM_CONFIG = replace(_COMM_CONFIG, **changes)
     return _COMM_CONFIG
 
@@ -122,25 +178,27 @@ def make_mechanism(name: str) -> CommRuntime:
         name = _COMM_CONFIG.backend
     cqs = _COMM_CONFIG.num_cqs
     qps = _COMM_CONFIG.num_qps_per_peer
+    retry = _COMM_CONFIG.retry_policy()
     if name == "gRPC.TCP":
         return GrpcCommRuntime(transport="tcp")
     if name == "gRPC.RDMA":
         return GrpcCommRuntime(transport="rdma")
     if name == "RDMA":
         return RdmaCommRuntime(zero_copy=True, num_cqs=cqs,
-                               num_qps_per_peer=qps)
+                               num_qps_per_peer=qps, retry_policy=retry)
     if name == "RDMA.cp":
         return RdmaCommRuntime(zero_copy=False, num_cqs=cqs,
-                               num_qps_per_peer=qps)
+                               num_qps_per_peer=qps, retry_policy=retry)
     if name == "RDMA.gpu":
         # Tensors in GPU memory without GPUDirect: PCIe staging on
         # both ends of every transfer (the Table 3 "RDMA" column).
         return RdmaCommRuntime(zero_copy=True, gpu_tensors=True,
-                               num_cqs=cqs, num_qps_per_peer=qps)
+                               num_cqs=cqs, num_qps_per_peer=qps,
+                               retry_policy=retry)
     if name == "RDMA+GDR":
         return RdmaCommRuntime(zero_copy=True, gpu_tensors=True,
                                gpudirect=True, num_cqs=cqs,
-                               num_qps_per_peer=qps)
+                               num_qps_per_peer=qps, retry_policy=retry)
     if name == "Local":
         return NullComm()
     raise ValueError(f"unknown mechanism {name!r}; have {MECHANISMS}")
@@ -220,6 +278,8 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            eager_flush: Optional[bool] = None,
                            collect_metrics: bool = False,
                            collect_trace: bool = False,
+                           fault_spec: Optional[str] = None,
+                           fault_seed: Optional[int] = None,
                            time_limit: float = 36000.0) -> BenchmarkResult:
     """Run one (model, mechanism, scale, batch) configuration.
 
@@ -248,6 +308,10 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
         priority_sched = _COMM_CONFIG.priority_sched
     if eager_flush is None:
         eager_flush = _COMM_CONFIG.eager_flush
+    if fault_spec is None:
+        fault_spec = _COMM_CONFIG.fault_spec
+    if fault_seed is None:
+        fault_seed = _COMM_CONFIG.fault_seed
     if priority_sched:
         base_cost = cost if cost is not None else DEFAULT_COST_MODEL
         if base_cost.wire_quantum_bytes <= 0:
@@ -269,6 +333,9 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
             algorithm=strategy, eager_flush=eager_flush, **kwargs)
         predicted = job.bytes_per_worker_per_step
     cluster = Cluster(1 if local else num_servers, cost=cost)
+    if fault_spec:
+        cluster.install_faults(
+            FaultInjector.from_spec(fault_spec, seed=fault_seed))
     tracing = collect_trace or capture_enabled()
     collector = (cluster.enable_metrics()
                  if collect_metrics or tracing else None)

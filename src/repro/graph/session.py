@@ -35,6 +35,9 @@ class RunStats:
     #: snapshot of the tracer's metrics registry (counters/histograms),
     #: populated when the cluster ran with tracing enabled
     observability: Optional[Dict] = None
+    #: injected faults + recovery counters, populated only when the
+    #: cluster ran with an armed fault plane
+    faults: Optional[Dict] = None
 
     @property
     def mean_iteration_time(self) -> float:
@@ -126,6 +129,11 @@ class Session:
         stats.total_time = self.sim.now - start_total
         if self.cluster.tracer is not None:
             stats.observability = self.cluster.tracer.metrics.to_dict()
+        plane = self.cluster.fault_plane
+        if plane is not None and plane.armed:
+            recovery = getattr(self.comm, "recovery_snapshot", lambda: None)
+            stats.faults = {"injected": plane.snapshot(),
+                            "recovery": recovery()}
         return stats
 
     # -- inspection ------------------------------------------------------------------------

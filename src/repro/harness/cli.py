@@ -51,6 +51,26 @@ def main(argv=None) -> int:
                         help="flush fusion buckets during backward "
                              "(--no-eager-flush holds them behind a "
                              "post-backward barrier)")
+    parser.add_argument("--fault-spec", default=None, metavar="SPEC",
+                        help="inject fabric faults, e.g. "
+                             "'drop:p=0.01;flap:host=server1,at=0.001,"
+                             "for=0.0005' (kinds: drop, blackhole, partial, "
+                             "qp-break, flap, straggler)")
+    parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                        help="RNG seed for probabilistic fault rules "
+                             "(default 0; same seed => same schedule)")
+    parser.add_argument("--retry-limit", type=int, default=None, metavar="N",
+                        help="transfer re-issues before degrading to TCP "
+                             "(default 4)")
+    parser.add_argument("--retry-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="base per-attempt transfer timeout in seconds "
+                             "(default 0.02; scales with size)")
+    parser.add_argument("--tcp-fallback", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="degrade persistently failing RDMA channels to "
+                             "the kernel TCP path (--no-tcp-fallback raises "
+                             "instead)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a merged Chrome trace_event JSON of "
                              "every benchmark run (open in Perfetto)")
@@ -66,7 +86,12 @@ def main(argv=None) -> int:
                    backend=args.backend,
                    fusion_bytes=fusion_bytes,
                    priority_sched=args.priority_sched,
-                   eager_flush=args.eager_flush)
+                   eager_flush=args.eager_flush,
+                   fault_spec=args.fault_spec,
+                   fault_seed=args.fault_seed,
+                   retry_limit=args.retry_limit,
+                   retry_timeout=args.retry_timeout,
+                   tcp_fallback=args.tcp_fallback)
     capturing = args.trace_out is not None or args.metrics_json is not None
     if capturing:
         configure_capture(trace_out=args.trace_out,

@@ -441,6 +441,84 @@ def overlap(models: Optional[Sequence[str]] = None, num_servers: int = 4,
     return result
 
 
+def chaos(seeds: Sequence[int] = (0, 1, 2), model: str = "FCN-5",
+          num_servers: int = 2, batch_size: int = 8, iterations: int = 3,
+          fault_spec: str = ("drop:p=0.05;partial:p=0.04,frac=0.6;"
+                             "blackhole:p=0.02;straggler:p=0.04,delay=8e-4"),
+          json_path: Optional[str] = None) -> ExperimentResult:
+    """Extension: chaos harness — seeded faults against the recovery layer.
+
+    Runs one small training job fault-free, then once per seed with the
+    same fault spec, and reports how each schedule was absorbed: faults
+    injected by kind, retries/timeouts, QP re-establishments, TCP
+    degradations, and the step-time slowdown the recovery cost.  Every
+    row must end ``completed=True`` — a hang or crash here is a
+    recovery-layer bug, and the CI smoke step fails on it.  Pass
+    ``json_path`` to dump the rows (CI uploads it as the fault-report
+    artifact).
+    """
+    spec = get_model(model)
+    common = dict(num_servers=num_servers, batch_size=batch_size,
+                  iterations=iterations)
+    clean = run_training_benchmark(spec, "RDMA", **common)
+    result = ExperimentResult(
+        experiment="Extension: chaos",
+        title=(f"Fault injection & recovery ({model}, {num_servers} "
+               f"servers, spec '{fault_spec}')"),
+        columns=["seed", "injected", "retries", "timeouts", "reconnects",
+                 "tcp_fallbacks", "step_ms", "slowdown_pct", "completed"])
+    records: List[Dict[str, object]] = []
+    for seed in seeds:
+        run = run_training_benchmark(spec, "RDMA", fault_spec=fault_spec,
+                                     fault_seed=seed, **common)
+        completed = not run.crashed
+        if not completed:
+            result.add_row(seed, None, None, None, None, None, None, None,
+                           False)
+            result.note(f"seed {seed} crashed: {run.crash_reason[:90]}")
+            records.append({"seed": seed, "completed": False,
+                            "crash_reason": run.crash_reason})
+            continue
+        faults = run.stats.faults or {}
+        injected = faults.get("injected", {})
+        recovery = faults.get("recovery") or {}
+        slowdown = ((run.step_time - clean.step_time)
+                    / clean.step_time * 100 if clean.step_time else 0.0)
+        result.add_row(seed, injected.get("total", 0),
+                       recovery.get("retries", 0),
+                       recovery.get("timeouts", 0),
+                       recovery.get("qp_reconnects", 0),
+                       recovery.get("fallback_transfers", 0),
+                       round(run.step_time * 1e3, 3), round(slowdown, 1),
+                       True)
+        records.append({
+            "seed": seed, "completed": True,
+            "injected": injected.get("total", 0),
+            "injected_by_kind": injected.get("by_kind", {}),
+            "recovery": recovery,
+            "step_ms": run.step_time * 1e3,
+            "slowdown_pct": slowdown,
+        })
+    survived = sum(1 for r in records if r["completed"])
+    result.note(f"clean step {clean.step_time * 1e3:.3f} ms; "
+                f"{survived}/{len(records)} seeds recovered to completion")
+    if json_path is not None:
+        payload = {
+            "experiment": "chaos",
+            "config": {"model": model, "num_servers": num_servers,
+                       "batch_size": batch_size, "iterations": iterations,
+                       "fault_spec": fault_spec, "seeds": list(seeds)},
+            "clean_step_ms": clean.step_time * 1e3,
+            "seeds": records,
+            "recovered_count": survived,
+            "seed_count": len(records),
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -453,6 +531,7 @@ ALL_EXPERIMENTS = {
     "allreduce": extension_allreduce,
     "stallreport": stallreport,
     "overlap": overlap,
+    "chaos": chaos,
 }
 
 
@@ -476,5 +555,6 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
                 mechanisms=("RDMA",), iterations=3),
             "stallreport": stallreport(),
             "overlap": overlap(models=("FCN-5",), num_servers=2),
+            "chaos": chaos(seeds=(0, 1)),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

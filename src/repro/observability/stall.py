@@ -109,6 +109,9 @@ class StallReport:
     """Stall attribution across all traced iterations."""
 
     iterations: List[IterationStall] = field(default_factory=list)
+    #: fault/recovery summary (only populated when a fault plane was
+    #: armed): injected-fault counts by kind plus retry totals
+    faults: Dict[str, object] = field(default_factory=dict)
 
     def totals(self) -> Dict[str, float]:
         """Critical-path category sums across iterations."""
@@ -139,6 +142,7 @@ class StallReport:
             "totals": self.totals(),
             "fractions": self.fractions(),
             "overlap_efficiency": self.overlap_efficiency(),
+            "faults": dict(self.faults),
             "iterations": [
                 {
                     "iteration": it.iteration,
@@ -196,6 +200,14 @@ class StallReport:
             wire = sum(it.wire_busy for it in self.iterations)
             lines.append(f"overlap efficiency: {efficiency * 100:.1f}% "
                          f"of {wire * 1e3:.3f}ms wire time hidden")
+        if self.faults:
+            by_kind = self.faults.get("by_kind", {})
+            kinds = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+            lines.append(
+                f"faults: {self.faults.get('injected', 0)} injected"
+                + (f" ({kinds})" if kinds else "")
+                + f", {self.faults.get('retries', 0)} retries "
+                f"({self.faults.get('retry_seconds', 0.0) * 1e3:.3f}ms)")
         return "\n".join(lines)
 
 
@@ -251,4 +263,17 @@ def build_stall_report(tracer: Tracer) -> StallReport:
                            overlapped_serialization=overlapped,
                            wire_busy=_wire_busy_union(
                                wire_spans, window.start, window.end)))
+    fault_spans = [s for s in tracer.spans if s.category == "fault"]
+    retry_spans = [s for s in tracer.spans if s.category == "retry"]
+    if fault_spans or retry_spans:
+        by_kind: Dict[str, int] = {}
+        for span in fault_spans:
+            kind = str((span.args or {}).get("kind", "unknown"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        report.faults = {
+            "injected": len(fault_spans),
+            "by_kind": by_kind,
+            "retries": len(retry_spans),
+            "retry_seconds": sum(s.duration for s in retry_spans),
+        }
     return report

@@ -42,6 +42,8 @@ CATEGORIES = (
     "serialization",  # transfer layer: staging copies, meta pack/unpack
     "collective",     # collective fragment chunk hop
     "iteration",      # session: one mini-batch iteration
+    "fault",          # fault plane: one injected fault (zero-duration)
+    "retry",          # recovery layer: one backoff + re-issue
 )
 
 #: categories the executor attributes its own timeline to; these sum

@@ -7,6 +7,8 @@ substitution rationale.
 """
 
 from .costmodel import CostModel, DEFAULT_COST_MODEL, KB, MB, GB
+from .faults import (FaultInjector, FaultRule, FaultSpecError, FaultVerdict,
+                     parse_fault_spec)
 from .gpu import GpuDevice
 from .metrics import MetricsCollector, TransferRecord
 from .memory import (AddressSpace, Backing, Buffer, DenseBacking, MemoryError_,
@@ -21,10 +23,11 @@ from .verbs import Completion, Opcode, WcStatus, WorkRequest
 __all__ = [
     "AddressSpace", "AllOf", "AnyOf", "Backing", "Buffer", "Cluster",
     "Completion", "CompletionQueue", "CostModel", "DEFAULT_COST_MODEL",
-    "DenseBacking", "Endpoint", "Event", "GB", "GpuDevice", "Host",
+    "DenseBacking", "Endpoint", "Event", "FaultInjector", "FaultRule",
+    "FaultSpecError", "FaultVerdict", "GB", "GpuDevice", "Host",
     "Interrupt", "KB", "Listener", "MB", "MemoryError_", "MemoryRegion", "MetricsCollector",
     "MrTable", "Opcode", "Pipe", "Process", "QueuePair", "RdmaNic",
     "Resource", "SimulationError", "Simulator", "Socket", "Store",
     "TcpError", "TcpMessage", "TcpStack", "Timeout", "TransferRecord", "VirtualBacking",
-    "WcStatus", "WorkRequest",
+    "WcStatus", "WorkRequest", "parse_fault_spec",
 ]

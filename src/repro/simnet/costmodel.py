@@ -38,6 +38,9 @@ class CostModel:
     rdma_verb_overhead: float = 0.6e-6         # post WQE + NIC processing
     rdma_completion_overhead: float = 0.3e-6   # CQE generation + poll cost
     rdma_read_extra_rtt: float = 1.0e-6        # one-sided READ needs a request leg
+    #: tearing down and re-establishing a broken queue pair (transition
+    #: through RESET/INIT/RTR/RTS via the connection manager)
+    qp_reestablish_time: float = 50e-6
 
     # ---- memory registration (page pinning through the kernel) ----
     mr_register_base: float = 150e-6           # ibv_reg_mr fixed cost

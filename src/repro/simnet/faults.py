@@ -1,0 +1,287 @@
+"""Deterministic fault injection for the simulated RDMA fabric.
+
+The paper's protocols assume the fabric never loses a write or breaks
+a queue pair mid-transfer; this module makes those assumptions break on
+purpose.  A :class:`FaultInjector` installed on a cluster (see
+:meth:`repro.simnet.topology.Cluster.install_faults`) is consulted by
+the NIC on every posted data verb and renders a :class:`FaultVerdict`:
+
+* ``drop`` — the verb occupies the wire but nothing commits at the
+  destination; the sender gets an error CQE (wire-level loss that the
+  NIC detects, e.g. a retry-exhausted ACK timeout).
+* ``blackhole`` — the verb vanishes without a trace: no commit, **no
+  CQE**.  Exercises the recovery layer's per-transfer timeout.
+* ``partial`` — a torn write: an ascending-order prefix of the payload
+  commits and then the transfer dies, error CQE.  The tail (where the
+  protocols put their flag byte) never lands, which is exactly why the
+  flag protocol is safe against torn writes.
+* ``qp_break`` — like ``partial``, and additionally both ends of the
+  queue pair enter the error state: every later verb posted on the QP
+  fails fast with a flush status until the channel re-establishes it.
+* ``flap`` — the host's NIC is down for a time window; every data verb
+  posted in the window fails fast.
+* ``straggler`` — a transient slowdown: the verb departs ``delay``
+  seconds late but succeeds (can push a transfer past the recovery
+  layer's timeout, making spurious retries reachable in tests).
+
+All randomness comes from one seeded ``random.Random``; draws happen in
+verb post order, which the simulator makes deterministic, so a fault
+schedule is a pure function of (spec, seed, workload).  Every injected
+fault is appended to :attr:`FaultInjector.injected` so tests can match
+retry counts against the schedule exactly.
+
+Verbs with ``role == "control"`` (address-book RPC) are never faulted:
+connection setup is out of scope for the recovery layer, which lives in
+the transfer protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .verbs import WcStatus, WorkRequest
+
+
+#: fault kinds that terminate the verb (at most one fires per post)
+TERMINAL_KINDS = ("drop", "blackhole", "partial", "qp_break", "flap")
+#: all spec-addressable kinds, including the additive straggler delay
+FAULT_KINDS = TERMINAL_KINDS + ("straggler",)
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``--fault-spec`` string."""
+
+
+@dataclass
+class FaultRule:
+    """One clause of a fault spec.
+
+    A rule is *eligible* for a posted verb when the sim time is inside
+    ``[after, until)``, the posting host matches ``host`` (if set) and
+    the verb's protocol role matches ``role`` (if set; unset matches
+    every non-control role).  Eligible posts first burn ``skip``, then
+    draw against ``probability``; ``count`` caps total firings so tests
+    can assert exact retry counts.
+    """
+
+    kind: str
+    probability: float = 1.0
+    count: Optional[int] = None
+    skip: int = 0
+    after: float = 0.0
+    until: float = float("inf")
+    host: Optional[str] = None
+    role: Optional[str] = None
+    #: extra seconds a straggler adds to the verb's departure
+    delay: float = 200e-6
+    #: fraction of the payload a partial/qp_break commits before dying
+    frac: float = 0.5
+    fired: int = 0
+    seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultSpecError(f"probability {self.probability} not in [0,1]")
+        if not 0.0 <= self.frac < 1.0:
+            raise FaultSpecError(f"frac {self.frac} must be in [0,1)")
+
+    def matches(self, now: float, host: str, role: str) -> bool:
+        if not self.after <= now < self.until:
+            return False
+        if self.host is not None and self.host != host:
+            return False
+        if self.role is not None and self.role != role:
+            return False
+        return True
+
+    def exhausted(self) -> bool:
+        return self.count is not None and self.fired >= self.count
+
+
+@dataclass(frozen=True)
+class FaultVerdict:
+    """What the NIC must do to one posted verb."""
+
+    kind: str
+    status: WcStatus = WcStatus.SUCCESS
+    #: extra departure delay (straggler rules, additive)
+    delay: float = 0.0
+    #: committed payload fraction for partial/qp_break
+    frac: float = 0.0
+
+    @property
+    def fail_fast(self) -> bool:
+        """Fails at post time, before touching the wire."""
+        return self.kind == "flap"
+
+    @property
+    def break_qp(self) -> bool:
+        return self.kind == "qp_break"
+
+    def commit_size(self, size: int) -> int:
+        """Bytes that land at the destination (< size for faults)."""
+        if self.kind in ("drop", "blackhole", "flap"):
+            return 0
+        if self.kind in ("partial", "qp_break"):
+            return min(int(size * self.frac), size - 1) if size else 0
+        return size
+
+
+def parse_fault_spec(spec: str) -> List[FaultRule]:
+    """Parse ``"kind:key=value,...;kind:..."`` into rules.
+
+    Keys: ``p`` (probability), ``count``, ``skip``, ``at``/``after``,
+    ``until``, ``for`` (duration, sets ``until = after + for``),
+    ``host``, ``role``, ``delay``, ``frac``.  Example::
+
+        drop:p=0.05;flap:host=server1,at=0.001,for=0.0005
+    """
+    rules: List[FaultRule] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, rest = clause.partition(":")
+        kind = kind.strip().replace("-", "_")
+        kwargs: Dict[str, object] = {}
+        duration: Optional[float] = None
+        for item in filter(None, (s.strip() for s in rest.split(","))):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise FaultSpecError(f"expected key=value, got {item!r}")
+            key = key.strip()
+            value = value.strip()
+            if key in ("p", "prob", "probability"):
+                kwargs["probability"] = float(value)
+            elif key == "count":
+                kwargs["count"] = int(value)
+            elif key == "skip":
+                kwargs["skip"] = int(value)
+            elif key in ("at", "after"):
+                kwargs["after"] = float(value)
+            elif key == "until":
+                kwargs["until"] = float(value)
+            elif key == "for":
+                duration = float(value)
+            elif key == "host":
+                kwargs["host"] = value
+            elif key == "role":
+                kwargs["role"] = value
+            elif key == "delay":
+                kwargs["delay"] = float(value)
+            elif key == "frac":
+                kwargs["frac"] = float(value)
+            else:
+                raise FaultSpecError(f"unknown fault-spec key {key!r}")
+        if duration is not None:
+            kwargs["until"] = float(kwargs.get("after", 0.0)) + duration
+        try:
+            rules.append(FaultRule(kind=kind, **kwargs))  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise FaultSpecError(str(exc)) from exc
+    return rules
+
+
+class FaultInjector:
+    """Seeded, schedulable fault plane for a cluster's RDMA fabric."""
+
+    def __init__(self, rules: Optional[List[FaultRule]] = None,
+                 seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules or [])
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: chronological log of every injected fault (dicts, so a
+        #: ``RunStats.faults`` snapshot is JSON-able and comparable)
+        self.injected: List[Dict[str, object]] = []
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        return cls(parse_fault_spec(spec), seed=seed)
+
+    @property
+    def armed(self) -> bool:
+        """Whether any rule exists.
+
+        An installed-but-empty injector is *not* armed: the NIC's fast
+        path and the comm runtime's recovery gating both key off this,
+        so an empty spec stays bit-identical to no injector at all.
+        """
+        return bool(self.rules)
+
+    def on_post(self, nic, qp, wr: WorkRequest) -> Optional[FaultVerdict]:
+        """Render the verdict for one posted verb (None = untouched).
+
+        Straggler delays accumulate across matching rules; the first
+        terminal rule to fire wins and stops evaluation.  RNG draws are
+        made only for eligible probabilistic rules, in spec order, so
+        the schedule is deterministic given the workload.
+        """
+        if wr.role == "control" or not self.rules:
+            return None
+        now = nic.sim.now
+        host = nic.host.name
+        delay = 0.0
+        terminal: Optional[FaultRule] = None
+        for rule in self.rules:
+            if rule.exhausted() or not rule.matches(now, host, wr.role):
+                continue
+            rule.seen += 1
+            if rule.seen <= rule.skip:
+                continue
+            if rule.probability < 1.0 and \
+                    self._rng.random() >= rule.probability:
+                continue
+            rule.fired += 1
+            if rule.kind == "straggler":
+                delay += rule.delay
+                self._log(nic, wr, rule, now)
+                continue
+            terminal = rule
+            self._log(nic, wr, rule, now)
+            break
+        if terminal is None and delay == 0.0:
+            return None
+        if terminal is None:
+            return FaultVerdict(kind="straggler", delay=delay)
+        status = (WcStatus.WR_FLUSH_ERR if terminal.kind == "qp_break"
+                  else WcStatus.RETRY_EXC_ERR)
+        return FaultVerdict(kind=terminal.kind, status=status, delay=delay,
+                            frac=terminal.frac)
+
+    def _log(self, nic, wr: WorkRequest, rule: FaultRule, now: float) -> None:
+        # wr_id is drawn from a process-global counter and so differs
+        # between back-to-back runs; keep the log run-deterministic.
+        self.injected.append({
+            "time": now, "kind": rule.kind, "host": nic.host.name,
+            "role": wr.role, "opcode": wr.opcode.value, "size": wr.size,
+        })
+        tracer = nic.host.cluster.tracer
+        if tracer is not None:
+            tracer.record("fault", f"{rule.kind} {wr.role or wr.opcode.value}",
+                          nic.host.name, "nic:faults", now, now,
+                          args={"kind": rule.kind, "role": wr.role,
+                                "wr_id": wr.wr_id, "size": wr.size})
+            tracer.metrics.counter("faults_injected").add(1)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.injected:
+            kind = str(entry["kind"])
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able summary for ``RunStats.faults``."""
+        return {
+            "seed": self.seed,
+            "total": len(self.injected),
+            "by_kind": self.counts_by_kind(),
+            "log": [dict(entry) for entry in self.injected],
+        }

@@ -36,6 +36,7 @@ from heapq import heappop, heappush
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .costmodel import CostModel
+from .faults import FaultVerdict
 from .memory import Backing, DenseBacking, MemoryRegion, MrTable, MemoryError_
 from .simulator import Event, Simulator
 from .verbs import Completion, Opcode, WcStatus, WorkRequest
@@ -339,6 +340,9 @@ class QueuePair:
         self.send_cq = send_cq
         self.recv_cq = recv_cq
         self.remote: Optional["QueuePair"] = None
+        #: error state (set by an injected qp_break): posted verbs are
+        #: flushed with WR_FLUSH_ERR until the channel re-establishes
+        self.broken = False
         self._recv_queue: Deque[WorkRequest] = deque()
         self._pending_sends: Deque = deque()
         #: per-QP FIFO guarantees (verbs on one QP execute in order)
@@ -518,7 +522,61 @@ class RdmaNic:
                           byte_len=0, qp_num=qp.qp_num, timestamp=self.sim.now)
         self.sim.call_after(self.cost.rdma_verb_overhead, lambda: qp.send_cq.push(comp))
 
+    def _fault_gate(self, qp: QueuePair,
+                    wr: WorkRequest) -> Tuple[bool, Optional[FaultVerdict]]:
+        """Broken-QP flush + fault-plane consult for one posted verb.
+
+        Returns ``(proceed, verdict)``.  With no fault plane installed
+        this is two attribute checks and schedules nothing, so clean
+        runs keep bit-identical timing.
+        """
+        if qp.broken or (qp.remote is not None and qp.remote.broken):
+            self._fail(qp, wr, WcStatus.WR_FLUSH_ERR)
+            return False, None
+        plane = self.host.cluster.fault_plane
+        if plane is None:
+            return True, None
+        verdict = plane.on_post(self, qp, wr)
+        if verdict is None:
+            return True, None
+        if verdict.kind == "blackhole":
+            # Lost in the fabric: no wire time, no commit, no CQE —
+            # only the recovery layer's timeout can notice.
+            return False, None
+        if verdict.fail_fast:
+            self._fail(qp, wr, verdict.status)
+            return False, None
+        if verdict.break_qp:
+            qp.broken = True
+            if qp.remote is not None:
+                qp.remote.broken = True
+        return True, verdict
+
+    def _faulted_commit(self, verdict: Optional[FaultVerdict],
+                        backing: Backing, offset: int, size: int,
+                        payload: Optional[bytes], start: float, end: float,
+                        head: bytes, tail: bytes, wake_host) -> None:
+        """Ascending commit honouring a fault verdict's committed prefix.
+
+        A torn write commits a strict prefix — never the tail window
+        where the protocols keep their flag byte — and wakes nobody.
+        """
+        commit = size if verdict is None else verdict.commit_size(size)
+        if commit <= 0:
+            return
+        if commit < size:
+            payload = payload[:commit] if payload is not None else None
+            head = head[:commit]
+            tail = b""
+            wake_host = None
+        self._schedule_ascending_commit(backing, offset, commit, payload,
+                                        start, end, head, tail,
+                                        wake_host=wake_host)
+
     def _execute_write(self, qp: QueuePair, wr: WorkRequest) -> None:
+        proceed, verdict = self._fault_gate(qp, wr)
+        if not proceed:
+            return
         remote_qp = qp._require_remote()
         remote_nic = remote_qp.nic
         try:
@@ -532,10 +590,11 @@ class RdmaNic:
 
         if self.egress_sched is not None and remote_nic.ingress_sched is not None:
             self._execute_write_prio(qp, wr, remote_nic, payload, head, tail,
-                                     dest_buf, dest_off)
+                                     dest_buf, dest_off, verdict)
             return
 
-        depart = max(self.sim.now + self.cost.rdma_verb_overhead,
+        extra = verdict.delay if verdict is not None else 0.0
+        depart = max(self.sim.now + self.cost.rdma_verb_overhead + extra,
                      qp._egress_free)
         start, egress_end = self.egress.reserve(depart, wr.size)
         qp._egress_free = egress_end
@@ -546,15 +605,19 @@ class RdmaNic:
         end = max(end, qp._last_arrival)
         qp._last_arrival = end
 
-        self._schedule_ascending_commit(dest_buf.backing, dest_off, wr.size,
-                                        payload, start, end, head, tail,
-                                        wake_host=remote_nic.host)
+        self._faulted_commit(verdict, dest_buf.backing, dest_off, wr.size,
+                             payload, start, end, head, tail,
+                             wake_host=remote_nic.host)
         self._record(Opcode.WRITE, self.host, remote_nic.host, wr.size,
                      start, end, role=wr.role)
-        if wr.signaled:
+        status = WcStatus.SUCCESS if verdict is None else verdict.status
+        # Error completions are delivered even for unsignaled posts:
+        # the NIC always reports failed work requests.
+        if wr.signaled or status is not WcStatus.SUCCESS:
             done = end + self.cost.rdma_completion_overhead
             comp = Completion(wr_id=wr.wr_id, opcode=Opcode.WRITE,
-                              status=WcStatus.SUCCESS, byte_len=wr.size,
+                              status=status,
+                              byte_len=wr.size if status is WcStatus.SUCCESS else 0,
                               qp_num=qp.qp_num, timestamp=done)
             self.sim.call_at(done, lambda: qp.send_cq.push(comp))
         self._trace_verb(qp, wr, end + self.cost.rdma_completion_overhead
@@ -563,7 +626,8 @@ class RdmaNic:
     def _execute_write_prio(self, qp: QueuePair, wr: WorkRequest,
                             remote_nic: "RdmaNic",
                             payload: Optional[bytes], head: bytes,
-                            tail: bytes, dest_buf, dest_off: int) -> None:
+                            tail: bytes, dest_buf, dest_off: int,
+                            verdict: Optional[FaultVerdict] = None) -> None:
         """WRITE under the priority quantum scheduler (cut-through).
 
         The egress booking becomes runnable once the WQE is processed;
@@ -576,7 +640,8 @@ class RdmaNic:
         """
         posted = self.sim.now
         latency = self.cost.rdma_base_latency
-        depart = posted + self.cost.rdma_verb_overhead
+        extra = verdict.delay if verdict is not None else 0.0
+        depart = posted + self.cost.rdma_verb_overhead + extra
         eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
                                       after=qp._egress_chain)
         qp._egress_chain = eb
@@ -590,17 +655,18 @@ class RdmaNic:
             if not (eb.done and ib.done):
                 return
             end = max(ib.end, eb.end + latency)
-            self._schedule_ascending_commit(dest_buf.backing, dest_off,
-                                            wr.size, payload, eb.first_start,
-                                            end, head, tail,
-                                            wake_host=remote_nic.host)
+            self._faulted_commit(verdict, dest_buf.backing, dest_off,
+                                 wr.size, payload, eb.first_start, end,
+                                 head, tail, wake_host=remote_nic.host)
             self._record(Opcode.WRITE, self.host, remote_nic.host, wr.size,
                          eb.first_start, end, role=wr.role)
+            status = WcStatus.SUCCESS if verdict is None else verdict.status
             completed = end
-            if wr.signaled:
+            if wr.signaled or status is not WcStatus.SUCCESS:
                 completed = end + self.cost.rdma_completion_overhead
                 comp = Completion(wr_id=wr.wr_id, opcode=Opcode.WRITE,
-                                  status=WcStatus.SUCCESS, byte_len=wr.size,
+                                  status=status,
+                                  byte_len=wr.size if status is WcStatus.SUCCESS else 0,
                                   qp_num=qp.qp_num, timestamp=completed)
                 self.sim.call_at(completed, lambda: qp.send_cq.push(comp))
             self._trace_verb(qp, wr, completed, posted=posted)
@@ -609,6 +675,9 @@ class RdmaNic:
         ib.on_complete = finish
 
     def _execute_read(self, qp: QueuePair, wr: WorkRequest) -> None:
+        proceed, verdict = self._fault_gate(qp, wr)
+        if not proceed:
+            return
         remote_qp = qp._require_remote()
         remote_nic = remote_qp.nic
         try:
@@ -626,12 +695,13 @@ class RdmaNic:
 
         if self.ingress_sched is not None and remote_nic.egress_sched is not None:
             self._execute_read_prio(qp, wr, remote_nic, payload, head, tail,
-                                    dest_buf, dest_off)
+                                    dest_buf, dest_off, verdict)
             return
 
         # Request leg to the remote NIC, then data flows back.
-        request_arrives = (max(self.sim.now + self.cost.rdma_verb_overhead,
-                               qp._egress_free)
+        extra = verdict.delay if verdict is not None else 0.0
+        request_arrives = (max(self.sim.now + self.cost.rdma_verb_overhead
+                               + extra, qp._egress_free)
                            + self.cost.rdma_read_extra_rtt)
         start, _ = remote_nic.egress.reserve(request_arrives, wr.size)
         data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
@@ -640,15 +710,17 @@ class RdmaNic:
         end = max(end, qp._last_arrival)
         qp._last_arrival = end
 
-        self._schedule_ascending_commit(dest_buf.backing, dest_off, wr.size,
-                                        payload, start, end, head, tail,
-                                        wake_host=self.host)
+        self._faulted_commit(verdict, dest_buf.backing, dest_off, wr.size,
+                             payload, start, end, head, tail,
+                             wake_host=self.host)
         self._record(Opcode.READ, remote_nic.host, self.host, wr.size,
                      start, end, role=wr.role)
-        if wr.signaled:
+        status = WcStatus.SUCCESS if verdict is None else verdict.status
+        if wr.signaled or status is not WcStatus.SUCCESS:
             done = end + self.cost.rdma_completion_overhead
             comp = Completion(wr_id=wr.wr_id, opcode=Opcode.READ,
-                              status=WcStatus.SUCCESS, byte_len=wr.size,
+                              status=status,
+                              byte_len=wr.size if status is WcStatus.SUCCESS else 0,
                               qp_num=qp.qp_num, timestamp=done)
             self.sim.call_at(done, lambda: qp.send_cq.push(comp))
         self._trace_verb(qp, wr, end + self.cost.rdma_completion_overhead
@@ -657,7 +729,8 @@ class RdmaNic:
     def _execute_read_prio(self, qp: QueuePair, wr: WorkRequest,
                            remote_nic: "RdmaNic", payload: Optional[bytes],
                            head: bytes, tail: bytes, dest_buf,
-                           dest_off: int) -> None:
+                           dest_off: int,
+                           verdict: Optional[FaultVerdict] = None) -> None:
         """READ under the priority quantum scheduler.
 
         The data leg flows on the *remote* egress after the request
@@ -668,7 +741,8 @@ class RdmaNic:
         """
         posted = self.sim.now
         latency = self.cost.rdma_base_latency
-        request_arrives = (posted + self.cost.rdma_verb_overhead
+        extra = verdict.delay if verdict is not None else 0.0
+        request_arrives = (posted + self.cost.rdma_verb_overhead + extra
                            + self.cost.rdma_read_extra_rtt)
         reb = remote_nic.egress_sched.submit(wr.size, wr.priority,
                                              data_ready=request_arrives,
@@ -683,17 +757,18 @@ class RdmaNic:
             if not (reb.done and ib.done):
                 return
             end = max(ib.end, reb.end + latency)
-            self._schedule_ascending_commit(dest_buf.backing, dest_off,
-                                            wr.size, payload, reb.first_start,
-                                            end, head, tail,
-                                            wake_host=self.host)
+            self._faulted_commit(verdict, dest_buf.backing, dest_off,
+                                 wr.size, payload, reb.first_start, end,
+                                 head, tail, wake_host=self.host)
             self._record(Opcode.READ, remote_nic.host, self.host, wr.size,
                          reb.first_start, end, role=wr.role)
+            status = WcStatus.SUCCESS if verdict is None else verdict.status
             completed = end
-            if wr.signaled:
+            if wr.signaled or status is not WcStatus.SUCCESS:
                 completed = end + self.cost.rdma_completion_overhead
                 comp = Completion(wr_id=wr.wr_id, opcode=Opcode.READ,
-                                  status=WcStatus.SUCCESS, byte_len=wr.size,
+                                  status=status,
+                                  byte_len=wr.size if status is WcStatus.SUCCESS else 0,
                                   qp_num=qp.qp_num, timestamp=completed)
                 self.sim.call_at(completed, lambda: qp.send_cq.push(comp))
             self._trace_verb(qp, wr, completed, posted=posted)
@@ -702,6 +777,9 @@ class RdmaNic:
         ib.on_complete = finish
 
     def _execute_send(self, qp: QueuePair, wr: WorkRequest) -> None:
+        proceed, verdict = self._fault_gate(qp, wr)
+        if not proceed:
+            return
         remote_qp = qp._require_remote()
         try:
             payload, head, tail = self._local_payload(wr)
@@ -710,9 +788,11 @@ class RdmaNic:
             return
         if self.egress_sched is not None and \
                 remote_qp.nic.ingress_sched is not None:
-            self._execute_send_prio(qp, wr, remote_qp, payload, head, tail)
+            self._execute_send_prio(qp, wr, remote_qp, payload, head, tail,
+                                    verdict)
             return
-        depart = max(self.sim.now + self.cost.rdma_verb_overhead,
+        extra = verdict.delay if verdict is not None else 0.0
+        depart = max(self.sim.now + self.cost.rdma_verb_overhead + extra,
                      qp._egress_free)
         start, egress_end = self.egress.reserve(depart, wr.size)
         qp._egress_free = egress_end
@@ -726,13 +806,18 @@ class RdmaNic:
         size = wr.size
         self._record(Opcode.SEND, self.host, remote_qp.nic.host, size,
                      start, arrival, role=wr.role)
-        self.sim.call_at(
-            arrival,
-            lambda: remote_qp._incoming_send(wr, data, arrival, head, tail))
-        if wr.signaled:
+        status = WcStatus.SUCCESS if verdict is None else verdict.status
+        if status is WcStatus.SUCCESS:
+            # A faulted SEND never reaches the remote RECV queue: the
+            # message vanishes and only the error CQE reports it.
+            self.sim.call_at(
+                arrival,
+                lambda: remote_qp._incoming_send(wr, data, arrival, head, tail))
+        if wr.signaled or status is not WcStatus.SUCCESS:
             done = arrival + self.cost.rdma_completion_overhead
             comp = Completion(wr_id=wr.wr_id, opcode=Opcode.SEND,
-                              status=WcStatus.SUCCESS, byte_len=size,
+                              status=status,
+                              byte_len=size if status is WcStatus.SUCCESS else 0,
                               qp_num=qp.qp_num, timestamp=done)
             self.sim.call_at(done, lambda: qp.send_cq.push(comp))
         self._trace_verb(qp, wr, arrival + self.cost.rdma_completion_overhead
@@ -740,12 +825,14 @@ class RdmaNic:
 
     def _execute_send_prio(self, qp: QueuePair, wr: WorkRequest,
                            remote_qp: QueuePair, payload: Optional[bytes],
-                           head: bytes, tail: bytes) -> None:
+                           head: bytes, tail: bytes,
+                           verdict: Optional[FaultVerdict] = None) -> None:
         """SEND under the priority quantum scheduler."""
         remote_nic = remote_qp.nic
         posted = self.sim.now
         latency = self.cost.rdma_base_latency
-        depart = posted + self.cost.rdma_verb_overhead
+        extra = verdict.delay if verdict is not None else 0.0
+        depart = posted + self.cost.rdma_verb_overhead + extra
         eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
                                       after=qp._egress_chain)
         qp._egress_chain = eb
@@ -762,14 +849,17 @@ class RdmaNic:
             arrival = max(ib.end, eb.end + latency)
             self._record(Opcode.SEND, self.host, remote_nic.host, wr.size,
                          eb.first_start, arrival, role=wr.role)
-            self.sim.call_at(
-                arrival,
-                lambda: remote_qp._incoming_send(wr, data, arrival, head, tail))
+            status = WcStatus.SUCCESS if verdict is None else verdict.status
+            if status is WcStatus.SUCCESS:
+                self.sim.call_at(
+                    arrival,
+                    lambda: remote_qp._incoming_send(wr, data, arrival, head, tail))
             completed = arrival
-            if wr.signaled:
+            if wr.signaled or status is not WcStatus.SUCCESS:
                 completed = arrival + self.cost.rdma_completion_overhead
                 comp = Completion(wr_id=wr.wr_id, opcode=Opcode.SEND,
-                                  status=WcStatus.SUCCESS, byte_len=wr.size,
+                                  status=status,
+                                  byte_len=wr.size if status is WcStatus.SUCCESS else 0,
                                   qp_num=qp.qp_num, timestamp=completed)
                 self.sim.call_at(completed, lambda: qp.send_cq.push(comp))
             self._trace_verb(qp, wr, completed, posted=posted)

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 from ..observability.tracer import Tracer
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .cpu import CpuEngine
+from .faults import FaultInjector
 from .metrics import MetricsCollector
 from .memory import AddressSpace, Buffer
 from .nic import RdmaNic
@@ -88,6 +89,10 @@ class Cluster:
         #: span tracing, off unless :meth:`enable_tracing` is called;
         #: instrumented fast paths pay one attribute check when None
         self.tracer: Optional[Tracer] = None
+        #: fault plane, off unless :meth:`install_faults` is called; the
+        #: NICs consult it on every posted data verb (one None-check on
+        #: the fast path, so fault-free timing stays bit-identical)
+        self.fault_plane: Optional[FaultInjector] = None
 
     def enable_metrics(self) -> MetricsCollector:
         """Record every wire transfer (see :mod:`repro.simnet.metrics`)."""
@@ -100,6 +105,11 @@ class Cluster:
         if self.tracer is None:
             self.tracer = Tracer()
         return self.tracer
+
+    def install_faults(self, injector: FaultInjector) -> FaultInjector:
+        """Install a fault plane (see :mod:`repro.simnet.faults`)."""
+        self.fault_plane = injector
+        return injector
 
     def __len__(self) -> int:
         return len(self.hosts)

@@ -29,6 +29,11 @@ class WcStatus(enum.Enum):
     REMOTE_ACCESS_ERROR = "IBV_WC_REM_ACCESS_ERR"
     LOCAL_LENGTH_ERROR = "IBV_WC_LOC_LEN_ERR"
     REMOTE_INVALID_REQUEST = "IBV_WC_REM_INV_REQ_ERR"
+    #: transport retry counter exhausted — the fabric lost the packet(s)
+    #: (injected wire loss surfaces as this status)
+    RETRY_EXC_ERR = "IBV_WC_RETRY_EXC_ERR"
+    #: the QP entered the error state; posted work is flushed unexecuted
+    WR_FLUSH_ERR = "IBV_WC_WR_FLUSH_ERR"
 
 
 _wr_ids = itertools.count(1)

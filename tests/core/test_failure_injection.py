@@ -156,6 +156,93 @@ class _FakeExecutor:
         self.host = cluster.hosts[0]
 
 
+class TestInFlightFaults:
+    """Faults landing *mid-transfer*, not at connection setup: the
+    recovery layer must retry, re-establish, or degrade — and the
+    training numerics must come out bit-identical to a clean run."""
+
+    def _train(self, fault_spec=None, fault_seed=0, force_dynamic=False,
+               retry_policy=None):
+        from repro.simnet import FaultInjector
+        cluster = Cluster(2)
+        if fault_spec:
+            cluster.install_faults(
+                FaultInjector.from_spec(fault_spec, seed=fault_seed))
+        rng = np.random.default_rng(11)
+        b = GraphBuilder()
+        x = b.placeholder([4, 3], name="x", device="worker0")
+        y = b.placeholder([4, 2], name="y", device="worker0")
+        w = b.variable([3, 2], name="w", device="ps0",
+                       initializer=rng.normal(0, 0.3, (3, 2)))
+        from repro.graph import minimize
+        loss, _ = b.softmax_cross_entropy(
+            b.matmul(x, w, device="worker0"), y, name="loss",
+            device="worker0")
+        minimize(b, loss, lr=0.4)
+        comm = RdmaCommRuntime(force_dynamic=force_dynamic,
+                               retry_policy=retry_policy)
+        session = Session(cluster, b.finalize(),
+                          {"ps0": cluster.hosts[0],
+                           "worker0": cluster.hosts[1]}, comm=comm)
+        feeds = {"x": rng.normal(size=(4, 3)).astype(np.float32),
+                 "y": np.eye(4, 2, dtype=np.float32)}
+        numerics = []
+        for _ in range(3):
+            session.run(feeds=feeds, time_limit=60.0)
+            numerics.append(session.numpy("loss").tobytes())
+        numerics.append(session.variable("w").array.tobytes())
+        return numerics, cluster, comm
+
+    def test_qp_break_mid_static_write(self):
+        baseline, _, _ = self._train()
+        numerics, cluster, comm = self._train(
+            "qp_break:count=1,skip=2,role=static-write")
+        assert numerics == baseline
+        recovery = comm.recovery_snapshot()
+        assert recovery["qp_reconnects"] >= 1
+        assert recovery["gave_up"] == 0
+        # The broken pair really was replaced, on some channel.
+        devices = [d for d in cluster.services.values()
+                   if isinstance(d, RdmaDevice)]
+        reconnected = [ch for d in devices
+                       for ch in d._channels.values() if ch.reconnects]
+        assert reconnected
+        assert all(not ch.broken for ch in reconnected)
+
+    def test_payload_read_timeout_on_dynamic_path(self):
+        baseline, _, _ = self._train(force_dynamic=True)
+        numerics, cluster, comm = self._train(
+            "blackhole:count=1,role=dynamic-payload-read",
+            force_dynamic=True)
+        assert numerics == baseline
+        assert cluster.fault_plane.counts_by_kind() == {"blackhole": 1}
+        recovery = comm.recovery_snapshot()
+        # A blackholed READ produces no CQE: only the per-transfer
+        # timeout can notice it.
+        assert recovery["timeouts"] >= 1
+        assert recovery["retries"] >= 1
+        assert recovery["gave_up"] == 0
+
+    def test_tcp_fallback_after_budget_exhaustion(self):
+        from repro.core import RetryPolicy
+        baseline, _, _ = self._train()
+        policy = RetryPolicy(max_retries=2)
+        numerics, cluster, comm = self._train(
+            "drop:p=1.0,role=static-write", retry_policy=policy)
+        assert numerics == baseline
+        recovery = comm.recovery_snapshot()
+        assert recovery["gave_up"] >= 1
+        assert recovery["channels_degraded"] >= 1
+        assert recovery["fallback_transfers"] >= 1
+
+    def test_exhaustion_without_fallback_raises(self):
+        from repro.core import RetryPolicy
+        policy = RetryPolicy(max_retries=1, tcp_fallback=False)
+        with pytest.raises(Exception, match="failed after 1 retries"):
+            self._train("drop:p=1.0,role=static-write",
+                        retry_policy=policy)
+
+
 class TestAllocatorFailureEdges:
     def test_exhaustion_message_mentions_fragmentation(self):
         cluster = Cluster(1)

@@ -6,12 +6,14 @@ so experiments are exactly repeatable and diffs between mechanisms are
 attributable to the mechanisms alone.
 """
 
+import dataclasses
+
 import numpy as np
 
 from repro.distributed import run_training_benchmark
 from repro.graph import GraphBuilder, Session, minimize
 from repro.models import get_model
-from repro.simnet import Cluster
+from repro.simnet import Cluster, FaultInjector
 from repro.workloads import run_microbench
 
 
@@ -62,3 +64,62 @@ class TestDeterminism:
         second, t2 = run_once()
         assert first == second
         assert t1 == t2
+
+
+class TestFaultDeterminism:
+    """The fault plane is part of the pure function: same seed, same
+    schedule; no spec, no perturbation at all."""
+
+    SPEC = "drop:p=0.06;blackhole:p=0.03;straggler:p=0.05,delay=8e-4"
+
+    def _run(self, **kwargs):
+        spec = get_model("FCN-5")
+        return run_training_benchmark(spec, "RDMA", num_servers=2,
+                                      batch_size=8, iterations=3, **kwargs)
+
+    def test_same_fault_seed_bitwise_repeatable(self):
+        a = self._run(fault_spec=self.SPEC, fault_seed=17)
+        b = self._run(fault_spec=self.SPEC, fault_seed=17)
+        assert a.stats.iteration_times == b.stats.iteration_times
+        assert a.stats.faults is not None
+        # The whole RunStats — fault log included — must match, not
+        # just the timings.
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
+
+    def test_fault_seed_changes_the_schedule(self):
+        logs = {
+            str(self._run(fault_spec=self.SPEC,
+                          fault_seed=seed).stats.faults["injected"]["log"])
+            for seed in range(4)
+        }
+        assert len(logs) > 1
+
+    def test_injector_off_is_bit_identical(self):
+        """No spec, empty spec, and pre-fault-plumbing behaviour all
+        coincide: the chaos layer is free when unused."""
+        plain = self._run()
+        empty = self._run(fault_spec="")
+        assert plain.stats.iteration_times == empty.stats.iteration_times
+        assert plain.stats.faults is None and empty.stats.faults is None
+
+    def test_installed_but_empty_injector_is_bit_identical(self):
+        def run_session(install):
+            cluster = Cluster(2)
+            if install:
+                cluster.install_faults(FaultInjector([], seed=9))
+            from repro.core import RdmaCommRuntime
+            rng = np.random.default_rng(5)
+            b = GraphBuilder()
+            x = b.placeholder([8, 4], name="x", device="worker0")
+            w = b.variable([4, 2], name="w", device="ps0",
+                           initializer=rng.normal(0, 0.2, (4, 2)))
+            b.matmul(x, w, name="out", device="worker0")
+            session = Session(cluster, b.finalize(),
+                              {"ps0": cluster.hosts[0],
+                               "worker0": cluster.hosts[1]},
+                              comm=RdmaCommRuntime())
+            feeds = {"x": rng.normal(size=(8, 4)).astype(np.float32)}
+            stats = session.run(iterations=3, feeds=feeds)
+            return stats.iteration_times, cluster.sim.now
+
+        assert run_session(install=False) == run_session(install=True)

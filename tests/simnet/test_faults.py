@@ -1,0 +1,232 @@
+"""Unit tests for the fault-injection plane (spec, rules, verdicts).
+
+These cover the injector in isolation with a stub NIC; the recovery
+behaviour it provokes is covered end-to-end by ``tests/chaos`` and the
+in-flight cases in ``tests/core/test_failure_injection.py``.
+"""
+
+import types
+
+import pytest
+
+from repro.simnet import Opcode, WcStatus, WorkRequest
+from repro.simnet.faults import (FAULT_KINDS, FaultInjector, FaultRule,
+                                 FaultSpecError, FaultVerdict,
+                                 parse_fault_spec)
+
+
+def _nic(now=0.0, host="server0"):
+    """Just enough NIC surface for FaultInjector.on_post."""
+    return types.SimpleNamespace(
+        sim=types.SimpleNamespace(now=now),
+        host=types.SimpleNamespace(
+            name=host, cluster=types.SimpleNamespace(tracer=None)))
+
+
+def _wr(role="static-write", size=4096):
+    return WorkRequest(opcode=Opcode.WRITE, size=size, role=role)
+
+
+class TestParseFaultSpec:
+    def test_single_clause_all_keys(self):
+        [rule] = parse_fault_spec(
+            "partial:p=0.25,count=3,skip=2,at=0.001,until=0.005,"
+            "host=server1,role=static-write,delay=1e-4,frac=0.8")
+        assert rule.kind == "partial"
+        assert rule.probability == 0.25
+        assert rule.count == 3
+        assert rule.skip == 2
+        assert rule.after == 0.001
+        assert rule.until == 0.005
+        assert rule.host == "server1"
+        assert rule.role == "static-write"
+        assert rule.delay == 1e-4
+        assert rule.frac == 0.8
+
+    def test_multiple_clauses_keep_spec_order(self):
+        rules = parse_fault_spec("drop:p=0.1;blackhole:count=1;straggler:")
+        assert [r.kind for r in rules] == ["drop", "blackhole", "straggler"]
+
+    def test_hyphenated_kind_normalised(self):
+        [rule] = parse_fault_spec("qp-break:count=1")
+        assert rule.kind == "qp_break"
+
+    def test_for_sets_until_relative_to_after(self):
+        [rule] = parse_fault_spec("flap:at=0.002,for=0.0005")
+        assert rule.after == 0.002
+        assert rule.until == pytest.approx(0.0025)
+
+    def test_probability_aliases(self):
+        for alias in ("p", "prob", "probability"):
+            [rule] = parse_fault_spec(f"drop:{alias}=0.5")
+            assert rule.probability == 0.5
+
+    def test_empty_clauses_skipped(self):
+        assert parse_fault_spec("") == []
+        assert parse_fault_spec(";;") == []
+        assert len(parse_fault_spec("drop:;;")) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            parse_fault_spec("gremlin:p=1.0")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault-spec key"):
+            parse_fault_spec("drop:bogus=1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(FaultSpecError, match="key=value"):
+            parse_fault_spec("drop:count")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultSpecError, match="not in"):
+            parse_fault_spec("drop:p=1.5")
+
+    def test_full_frac_rejected(self):
+        # frac=1.0 would commit the whole payload, flag included — a
+        # "partial" fault must never be a silent success.
+        with pytest.raises(FaultSpecError, match="frac"):
+            parse_fault_spec("partial:frac=1.0")
+
+
+class TestFaultRule:
+    def test_time_window_is_half_open(self):
+        rule = FaultRule(kind="drop", after=1.0, until=2.0)
+        assert not rule.matches(0.5, "h", "r")
+        assert rule.matches(1.0, "h", "r")
+        assert not rule.matches(2.0, "h", "r")
+
+    def test_host_and_role_filters(self):
+        rule = FaultRule(kind="drop", host="server1", role="static-write")
+        assert rule.matches(0.0, "server1", "static-write")
+        assert not rule.matches(0.0, "server0", "static-write")
+        assert not rule.matches(0.0, "server1", "dynamic-metadata")
+
+    def test_exhausted_after_count_firings(self):
+        rule = FaultRule(kind="drop", count=2)
+        assert not rule.exhausted()
+        rule.fired = 2
+        assert rule.exhausted()
+
+
+class TestFaultVerdict:
+    def test_vanishing_kinds_commit_nothing(self):
+        for kind in ("drop", "blackhole", "flap"):
+            assert FaultVerdict(kind=kind).commit_size(4096) == 0
+
+    def test_partial_commits_a_strict_prefix(self):
+        verdict = FaultVerdict(kind="partial", frac=0.5)
+        assert verdict.commit_size(100) == 50
+        # Even frac → 1.0-ish inputs may never land the final byte,
+        # because the protocols put their flag there.
+        assert FaultVerdict(kind="partial", frac=0.999).commit_size(8) == 7
+        assert verdict.commit_size(0) == 0
+
+    def test_only_flap_fails_fast(self):
+        assert FaultVerdict(kind="flap").fail_fast
+        assert not FaultVerdict(kind="drop").fail_fast
+
+    def test_only_qp_break_breaks_the_pair(self):
+        assert FaultVerdict(kind="qp_break").break_qp
+        assert not FaultVerdict(kind="partial").break_qp
+
+
+class TestFaultInjector:
+    def test_unarmed_when_empty(self):
+        assert not FaultInjector([]).armed
+        assert not FaultInjector.from_spec("").armed
+        assert FaultInjector.from_spec("drop:count=1").armed
+
+    def test_control_verbs_never_faulted(self):
+        injector = FaultInjector.from_spec("drop:p=1.0")
+        assert injector.on_post(_nic(), None, _wr(role="control")) is None
+        assert injector.injected == []
+
+    def test_count_caps_firings(self):
+        injector = FaultInjector.from_spec("drop:count=2")
+        verdicts = [injector.on_post(_nic(), None, _wr()) for _ in range(5)]
+        assert [v.kind if v else None for v in verdicts] == \
+            ["drop", "drop", None, None, None]
+        assert len(injector.injected) == 2
+
+    def test_skip_burns_before_firing(self):
+        injector = FaultInjector.from_spec("drop:count=1,skip=2")
+        verdicts = [injector.on_post(_nic(), None, _wr()) for _ in range(4)]
+        assert [v.kind if v else None for v in verdicts] == \
+            [None, None, "drop", None]
+
+    def test_straggler_delays_accumulate(self):
+        injector = FaultInjector.from_spec(
+            "straggler:delay=1e-4;straggler:delay=2e-4")
+        verdict = injector.on_post(_nic(), None, _wr())
+        assert verdict.kind == "straggler"
+        assert verdict.delay == pytest.approx(3e-4)
+        assert verdict.status is WcStatus.SUCCESS
+
+    def test_first_terminal_rule_wins(self):
+        injector = FaultInjector.from_spec("drop:count=1;blackhole:count=1")
+        assert injector.on_post(_nic(), None, _wr()).kind == "drop"
+        # drop is now exhausted; the next post reaches blackhole.
+        assert injector.on_post(_nic(), None, _wr()).kind == "blackhole"
+
+    def test_straggler_delay_rides_on_terminal_verdict(self):
+        injector = FaultInjector.from_spec(
+            "straggler:delay=5e-4;drop:count=1")
+        verdict = injector.on_post(_nic(), None, _wr())
+        assert verdict.kind == "drop"
+        assert verdict.delay == pytest.approx(5e-4)
+
+    def test_error_statuses_by_kind(self):
+        for kind, status in [("drop", WcStatus.RETRY_EXC_ERR),
+                             ("partial", WcStatus.RETRY_EXC_ERR),
+                             ("flap", WcStatus.RETRY_EXC_ERR),
+                             ("qp_break", WcStatus.WR_FLUSH_ERR)]:
+            injector = FaultInjector.from_spec(f"{kind}:count=1")
+            assert injector.on_post(_nic(), None, _wr()).status is status
+
+    def test_probabilistic_draws_are_seed_deterministic(self):
+        def schedule(seed):
+            injector = FaultInjector.from_spec("drop:p=0.3", seed=seed)
+            return [injector.on_post(_nic(), None, _wr()) is not None
+                    for _ in range(64)]
+
+        assert schedule(7) == schedule(7)
+        assert any(schedule(7))           # p=0.3 over 64 draws fires
+        assert not all(schedule(7))       # ... but not always
+        seeds = {tuple(schedule(s)) for s in range(8)}
+        assert len(seeds) > 1             # the seed matters
+
+    def test_certain_rules_make_no_draws(self):
+        # p=1.0 must not consume RNG state: adding a deterministic rule
+        # to a spec cannot perturb another rule's schedule.
+        paired = FaultInjector.from_spec("drop:p=1.0,count=1;blackhole:p=0.5",
+                                         seed=3)
+        alone = FaultInjector.from_spec("blackhole:p=0.5", seed=3)
+        paired.on_post(_nic(), None, _wr())  # consumes the count=1 drop
+        fires_paired = [paired.on_post(_nic(), None, _wr()) is not None
+                        for _ in range(32)]
+        fires_alone = [alone.on_post(_nic(), None, _wr()) is not None
+                       for _ in range(32)]
+        assert fires_paired == fires_alone
+
+    def test_log_and_snapshot_shape(self):
+        injector = FaultInjector.from_spec("drop:count=1;partial:count=1",
+                                           seed=9)
+        injector.on_post(_nic(now=1.5, host="server1"), None,
+                         _wr(size=128))
+        injector.on_post(_nic(now=2.5, host="server2"), None,
+                         _wr(role="dynamic-metadata", size=64))
+        assert injector.counts_by_kind() == {"drop": 1, "partial": 1}
+        snap = injector.snapshot()
+        assert snap["seed"] == 9
+        assert snap["total"] == 2
+        assert snap["by_kind"] == {"drop": 1, "partial": 1}
+        assert snap["log"][0] == {
+            "time": 1.5, "kind": "drop", "host": "server1",
+            "role": "static-write", "opcode": "RDMA_WRITE", "size": 128,
+        }
+
+    def test_every_documented_kind_parses(self):
+        for kind in FAULT_KINDS:
+            [rule] = parse_fault_spec(f"{kind}:count=1")
+            assert rule.kind == kind
