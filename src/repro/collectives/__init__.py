@@ -9,6 +9,8 @@ many-small-tensor workloads (Figure 7) into a few large transfers.
 """
 
 from . import ops  # noqa: F401  (registers the fusion/chunk operators)
+from .broadcast import (BROADCAST_MODES, broadcast_hops,
+                        downstream_of, root_egress_bytes, upstream_of)
 from .bucketing import (DEFAULT_FUSION_BYTES, GradientBucket, chunk_ranges,
                         plan_buckets)
 from .fragments import (ChunkRef, halving_doubling_allreduce,
@@ -17,8 +19,9 @@ from .fragments import (ChunkRef, halving_doubling_allreduce,
                         ring_reduce_scatter)
 
 __all__ = [
-    "ChunkRef", "DEFAULT_FUSION_BYTES", "GradientBucket", "chunk_ranges",
+    "BROADCAST_MODES", "ChunkRef", "DEFAULT_FUSION_BYTES", "GradientBucket", "chunk_ranges",
     "halving_doubling_allreduce", "halving_doubling_wire_bytes",
     "plan_buckets", "ring_all_gather", "ring_allreduce",
     "ring_allreduce_wire_bytes", "ring_reduce_scatter",
+    "broadcast_hops", "downstream_of", "root_egress_bytes", "upstream_of",
 ]

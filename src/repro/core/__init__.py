@@ -8,6 +8,9 @@ from .analyzer import (DevicePlan, EdgePlan, RdmaGraphAnalyzer,
                        find_static_source)
 from .device import (DeviceError, Direction, MemRegion, RdmaChannel,
                      RdmaDevice, RemoteMemRegion)
+from .publication import (PublicationLayout, SnapshotWriter,
+                          WeightPublisher, WeightSubscriber,
+                          build_publication, park_until)
 from .rdma_comm import RdmaCommRuntime
 from .recovery import RecoveryManager, RecoveryStats, RetryPolicy
 from .tracing import AllocationSiteTracer
@@ -17,8 +20,10 @@ from .transfer import (DynamicReceiver, DynamicSender, StaticReceiver,
 __all__ = [
     "AddressBook", "AllocationSiteTracer", "DevicePlan", "DeviceError",
     "Direction", "DynamicReceiver", "DynamicSender", "EdgePlan", "MemRegion",
-    "RdmaChannel", "RdmaCommRuntime", "RdmaDevice", "RdmaGraphAnalyzer",
-    "RecoveryManager", "RecoveryStats", "RemoteMemRegion", "RetryPolicy",
-    "StaticReceiver", "StaticSender", "TransferState",
-    "attach_address_book", "find_static_source",
+    "PublicationLayout", "RdmaChannel", "RdmaCommRuntime", "RdmaDevice",
+    "RdmaGraphAnalyzer", "RecoveryManager", "RecoveryStats",
+    "RemoteMemRegion", "RetryPolicy", "SnapshotWriter", "StaticReceiver",
+    "StaticSender", "TransferState", "WeightPublisher", "WeightSubscriber",
+    "attach_address_book", "build_publication", "find_static_source",
+    "park_until",
 ]

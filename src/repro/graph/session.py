@@ -86,6 +86,9 @@ class Session:
         self.comm.prepare(self)
         for executor in self.executors.values():
             executor.initialize_variables()
+        #: iterations issued through :meth:`iteration_process` (detached
+        #: mode); kept separate from :meth:`run`'s loop counter
+        self._detached_iterations = 0
 
     # -- running -------------------------------------------------------------------------
 
@@ -135,6 +138,30 @@ class Session:
             stats.faults = {"injected": plane.snapshot(),
                             "recovery": recovery()}
         return stats
+
+    def iteration_process(self, feeds: Optional[Dict[str, np.ndarray]] = None):
+        """Spawn one iteration as an event without driving the simulator.
+
+        :meth:`run` owns the event loop (it steps the simulator until
+        its barrier fires), which makes a session the *only* activity
+        in the cluster.  The serving plane instead runs many sessions
+        plus routers, pollers and load generators on one simulator, so
+        it needs the forward pass as a composable event: this spawns
+        every executor's ``run_iteration`` and returns the ``AllOf``
+        barrier, leaving the caller to ``yield`` it inside its own
+        process.  The session is reused across calls — variables stay
+        resident, allocations persist — which is exactly the
+        long-lived-session reuse a model server relies on.
+        """
+        iteration = self._detached_iterations
+        self._detached_iterations += 1
+        self.comm.on_iteration_start(self, iteration)
+        procs = [
+            self.sim.spawn(executor.run_iteration(dict(feeds or {})),
+                           name=f"exec-{device}-serve{iteration}")
+            for device, executor in self.executors.items()
+        ]
+        return self.sim.all_of(procs)
 
     # -- inspection ------------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ import sys
 import time
 
 from ..distributed.runner import MECHANISMS, configure_comm
+from ..serving.config import configure_serving
 from ..observability.capture import (configure_capture, flush_capture,
                                      reset_capture)
 from .experiments import ALL_EXPERIMENTS, run_all
@@ -24,9 +25,9 @@ def main(argv=None) -> int:
         prog="repro.harness",
         description="Regenerate the evaluation of 'Fast Distributed Deep "
                     "Learning over RDMA' (EuroSys '19) on the simulator.")
-    parser.add_argument("experiments", nargs="*",
-                        choices=[[], *ALL_EXPERIMENTS][1:] or None,
-                        help="subset to run (default: all)")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="subset to run (default: all); known names: "
+                             + ", ".join(ALL_EXPERIMENTS))
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of the fast trimmed ones")
     parser.add_argument("--num-cqs", type=int, default=None, metavar="N",
@@ -77,7 +78,35 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write per-run counters/histograms and the "
                              "stall-attribution report as JSON")
+    serving_group = parser.add_argument_group(
+        "serving", "knobs for the inference serving plane (the 'serving' "
+                   "experiment)")
+    serving_group.add_argument("--replicas", type=int, default=None,
+                               metavar="N",
+                               help="model replicas behind the router "
+                                    "(default 2)")
+    serving_group.add_argument("--qps", type=float, default=None, metavar="R",
+                               help="open-loop offered load in requests/s "
+                                    "(default 1200)")
+    serving_group.add_argument("--max-batch", type=int, default=None,
+                               metavar="N",
+                               help="dynamic batcher: close a batch at N "
+                                    "requests (default 8)")
+    serving_group.add_argument("--batch-timeout", type=float, default=None,
+                               metavar="SEC",
+                               help="dynamic batcher: or this long after "
+                                    "the first request (default 0.002)")
+    serving_group.add_argument("--slo-ms", type=float, default=None,
+                               metavar="MS",
+                               help="latency objective for SLO-attainment "
+                                    "accounting (default 25)")
     args = parser.parse_args(argv)
+
+    unknown = [name for name in args.experiments
+               if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)} "
+                     f"(known: {', '.join(ALL_EXPERIMENTS)})")
 
     fusion_bytes = (None if args.fusion_mb is None
                     else int(args.fusion_mb * 1024 * 1024))
@@ -92,6 +121,11 @@ def main(argv=None) -> int:
                    retry_limit=args.retry_limit,
                    retry_timeout=args.retry_timeout,
                    tcp_fallback=args.tcp_fallback)
+    configure_serving(replicas=args.replicas,
+                      qps=args.qps,
+                      max_batch=args.max_batch,
+                      batch_timeout=args.batch_timeout,
+                      slo_ms=args.slo_ms)
     capturing = args.trace_out is not None or args.metrics_json is not None
     if capturing:
         configure_capture(trace_out=args.trace_out,

@@ -519,6 +519,98 @@ def chaos(seeds: Sequence[int] = (0, 1, 2), model: str = "FCN-5",
     return result
 
 
+def serving(model: str = "FCN-5", requests: int = 600, seed: int = 7,
+            json_path: Optional[str] = None) -> ExperimentResult:
+    """Extension: the inference serving plane, both headline effects.
+
+    Four runs of the same deployment shape (taken from the serving
+    config, so the CLI's ``--replicas``/``--qps``/``--max-batch``/
+    ``--batch-timeout``/``--slo-ms`` flags steer this experiment):
+
+    * **batch=1 vs batch=N** at fixed replicas — dynamic batching must
+      raise sustained throughput (the batcher amortizes per-batch
+      dispatch and rides the GPU's batch-saturation curve);
+    * **FIFO vs priority wire scheduling** with bulk training traffic
+      co-located on the replica links — tagging serving transfers at
+      high WorkRequest priority must strictly lower inference p99.
+
+    Every row also carries the weight-publication counters (publishes,
+    zero-copy version swaps, torn serves — the last must be 0).  Pass
+    ``json_path`` to dump the rows plus the two headline booleans (CI
+    commits this as ``BENCH_serving.json`` and fails unless both hold).
+    """
+    from ..serving import run_serving_benchmark, serving_config
+    cfg = serving_config()
+    spec = get_model(model)
+    common = dict(replicas=cfg.replicas, qps=cfg.qps,
+                  batch_timeout=cfg.batch_timeout, slo_ms=cfg.slo_ms,
+                  arrival=cfg.arrival, admission_limit=cfg.admission_limit,
+                  broadcast=cfg.broadcast, requests=requests, seed=seed)
+    result = ExperimentResult(
+        experiment="Extension: serving",
+        title=(f"Inference serving plane: {model}, {cfg.replicas} replicas, "
+               f"{cfg.qps:g} qps offered, SLO {cfg.slo_ms:g} ms"),
+        columns=["run", "max_batch", "priority_sched", "co_located_training",
+                 "completed", "shed", "throughput_rps", "p50_ms", "p99_ms",
+                 "slo_attainment", "mean_batch", "swaps", "torn"])
+    runs = {
+        "batch-1": run_serving_benchmark(
+            spec, max_batch=1, priority_sched=True, **common),
+        f"batch-{cfg.max_batch}": run_serving_benchmark(
+            spec, max_batch=cfg.max_batch, priority_sched=True, **common),
+        "fifo+training": run_serving_benchmark(
+            spec, max_batch=cfg.max_batch, priority_sched=False,
+            background_training=True, **common),
+        "priority+training": run_serving_benchmark(
+            spec, max_batch=cfg.max_batch, priority_sched=True,
+            background_training=True, **common),
+    }
+    records: List[Dict[str, object]] = []
+    for name, run in runs.items():
+        result.add_row(
+            name, run.max_batch, run.priority_sched,
+            run.background_training, run.completed, run.shed,
+            round(run.throughput_rps, 1),
+            round(run.latency.get("p50", 0.0) * 1e3, 2),
+            round(run.latency.get("p99", 0.0) * 1e3, 2),
+            round(run.slo_attainment, 3),
+            round(run.mean_batch_size, 2), run.swaps, run.torn_serves)
+        records.append({"run": name, **run.to_dict()})
+    batched = runs[f"batch-{cfg.max_batch}"]
+    unbatched = runs["batch-1"]
+    batching_wins = batched.throughput_rps > unbatched.throughput_rps
+    fifo = runs["fifo+training"]
+    prio = runs["priority+training"]
+    priority_wins = (prio.latency.get("p99", 0.0)
+                     < fifo.latency.get("p99", 0.0))
+    torn_total = sum(run.torn_serves for run in runs.values())
+    result.note(f"dynamic batching: {unbatched.throughput_rps:.0f} -> "
+                f"{batched.throughput_rps:.0f} rps sustained "
+                f"(batching_wins={batching_wins})")
+    result.note(f"co-located training p99: FIFO "
+                f"{fifo.latency.get('p99', 0.0) * 1e3:.2f} ms vs priority "
+                f"{prio.latency.get('p99', 0.0) * 1e3:.2f} ms "
+                f"(priority_wins={priority_wins})")
+    result.note(f"torn serves across all runs: {torn_total} (must be 0)")
+    if json_path is not None:
+        payload = {
+            "experiment": "serving",
+            "config": {"model": model, "replicas": cfg.replicas,
+                       "qps": cfg.qps, "max_batch": cfg.max_batch,
+                       "batch_timeout": cfg.batch_timeout,
+                       "slo_ms": cfg.slo_ms, "arrival": cfg.arrival,
+                       "requests": requests, "seed": seed},
+            "runs": records,
+            "batching_wins": batching_wins,
+            "priority_wins": priority_wins,
+            "torn_serves_total": torn_total,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -532,6 +624,7 @@ ALL_EXPERIMENTS = {
     "stallreport": stallreport,
     "overlap": overlap,
     "chaos": chaos,
+    "serving": serving,
 }
 
 
@@ -556,5 +649,6 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
             "stallreport": stallreport(),
             "overlap": overlap(models=("FCN-5",), num_servers=2),
             "chaos": chaos(seeds=(0, 1)),
+            "serving": serving(requests=300),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

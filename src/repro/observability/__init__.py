@@ -28,7 +28,8 @@ first-class subsystem instead of ad-hoc prints:
 
 from .chrome_trace import (chrome_trace_events, to_chrome_trace,
                            write_chrome_trace)
-from .registry import Counter, Histogram, MetricsRegistry
+from .registry import (Counter, DEFAULT_PERCENTILES, Gauge,
+                       Histogram, MetricsRegistry)
 from .stall import StallReport, build_stall_report
 from .tracer import (CATEGORIES, EXECUTOR_CATEGORIES, Span, Tracer,
                      executor_track, protocol_track)
@@ -36,7 +37,8 @@ from .capture import (capture_enabled, capture_run, configure_capture,
                       flush_capture, reset_capture)
 
 __all__ = [
-    "CATEGORIES", "Counter", "EXECUTOR_CATEGORIES", "Histogram",
+    "CATEGORIES", "Counter", "DEFAULT_PERCENTILES",
+    "EXECUTOR_CATEGORIES", "Gauge", "Histogram",
     "MetricsRegistry", "Span", "StallReport", "Tracer",
     "build_stall_report", "capture_enabled", "capture_run",
     "chrome_trace_events", "configure_capture", "executor_track",

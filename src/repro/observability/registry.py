@@ -1,6 +1,7 @@
-"""Counters and histograms for the observability layer.
+"""Counters, gauges and histograms for the observability layer.
 
-Deliberately tiny: a :class:`Counter` is one float, a
+Deliberately tiny: a :class:`Counter` is one float, a :class:`Gauge`
+is a float that can also go down (queue depths, in-flight counts), a
 :class:`Histogram` keeps its raw observations (simulated runs record
 thousands of samples, not billions, so exact percentiles are cheaper
 than maintaining bucket boundaries).  Everything serializes to plain
@@ -9,7 +10,17 @@ dicts for the ``--metrics-json`` export.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+#: percentiles a histogram reports by default; serving SLOs need the
+#: p99.9 tail, so it is part of the default export
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50, 90, 99, 99.9)
+
+
+def percentile_key(p: float) -> str:
+    """``50 -> "p50"``, ``99.9 -> "p99.9"`` (no trailing zeros)."""
+    return f"p{p:g}"
 
 
 class Counter:
@@ -30,13 +41,52 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
-class Histogram:
-    """A named distribution with exact quantiles over raw samples."""
+class Gauge:
+    """A named level that moves both ways (queue depth, in-flight).
 
-    __slots__ = ("name", "_values", "_sorted")
+    Tracks the current value and the high-water mark, which is what
+    admission-control tuning needs from a simulated run.
+    """
+
+    __slots__ = ("name", "value", "high_water")
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"value": self.value, "high_water": self.high_water}
+
+    def __repr__(self) -> str:
+        return (f"Gauge({self.name}={self.value}, "
+                f"high_water={self.high_water})")
+
+
+class Histogram:
+    """A named distribution with exact quantiles over raw samples.
+
+    ``percentiles`` picks which quantiles :meth:`to_dict` reports
+    (default :data:`DEFAULT_PERCENTILES`, which includes the p99.9
+    tail); any quantile remains reachable via :meth:`percentile`.
+    """
+
+    __slots__ = ("name", "percentiles", "_values", "_sorted")
+
+    def __init__(self, name: str,
+                 percentiles: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.percentiles: Tuple[float, ...] = (
+            DEFAULT_PERCENTILES if percentiles is None
+            else tuple(percentiles))
         self._values: List[float] = []
         self._sorted = True
 
@@ -78,27 +128,29 @@ class Histogram:
                           int(round(p / 100.0 * (len(self._values) - 1)))))
         return self._values[rank]
 
-    def to_dict(self) -> Dict[str, float]:
-        return {
+    def to_dict(self, percentiles: Optional[Sequence[float]] = None
+                ) -> Dict[str, float]:
+        out = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
         }
+        for p in (self.percentiles if percentiles is None else percentiles):
+            out[percentile_key(p)] = self.percentile(p)
+        return out
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
 
 
 class MetricsRegistry:
-    """Named counters and histograms; created lazily on first use."""
+    """Named counters, gauges and histograms; created lazily on first use."""
 
     def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -107,16 +159,28 @@ class MetricsRegistry:
             counter = self.counters[name] = Counter(name)
         return counter
 
-    def histogram(self, name: str) -> Histogram:
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str,
+                  percentiles: Optional[Sequence[float]] = None) -> Histogram:
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(name)
+            histogram = self.histograms[name] = Histogram(
+                name, percentiles=percentiles)
         return histogram
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "counters": {name: c.value
                          for name, c in sorted(self.counters.items())},
             "histograms": {name: h.to_dict()
                            for name, h in sorted(self.histograms.items())},
         }
+        if self.gauges:
+            out["gauges"] = {name: g.to_dict()
+                             for name, g in sorted(self.gauges.items())}
+        return out

@@ -1,0 +1,100 @@
+"""Dynamic batching: the max-batch-size / batching-timeout tradeoff.
+
+Requests queue at the router; a batch closes when it reaches
+``max_batch`` requests or ``timeout`` seconds after its *first*
+request, whichever comes first.  Larger batches amortize the forward
+pass (GPU compute is flat below the saturation batch), the timeout
+bounds the queueing delay a lonely request can suffer — the classic
+serving knob pair this subsystem exists to measure.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..simnet.simulator import Simulator, Store
+
+
+class DynamicBatcher:
+    """Size-or-timeout batch closing over a FIFO request queue.
+
+    ``add()`` may be called from any process; closed batches come out
+    of :attr:`batches` (a :class:`~repro.simnet.simulator.Store`) in
+    closing order.  ``max_batch=1`` with ``timeout=0`` degenerates to
+    per-request dispatch — the no-batching baseline.
+    """
+
+    def __init__(self, sim: Simulator, max_batch: int,
+                 timeout: float, metrics=None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if timeout < 0:
+            raise ValueError("timeout must be non-negative")
+        self.sim = sim
+        self.max_batch = max_batch
+        self.timeout = timeout
+        self.metrics = metrics
+        self.batches: Store = Store(sim)
+        self._pending: List = []
+        self._arrival: Optional = None
+        self._stopped = False
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, request) -> None:
+        """Enqueue one request (called by the router's admission path)."""
+        self._pending.append(request)
+        if self.metrics is not None:
+            self.metrics.gauge("serving.batcher_depth").set(
+                len(self._pending))
+        if self._arrival is not None and not self._arrival.triggered:
+            self._arrival.succeed()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._arrival is not None and not self._arrival.triggered:
+            self._arrival.succeed()
+
+    def _wait_arrival(self, deadline: Optional[float] = None) -> Generator:
+        """Process: sleep until add() fires or the deadline passes."""
+        self._arrival = self.sim.event()
+        waits = [self._arrival]
+        if deadline is not None:
+            waits.append(self.sim.timeout(max(0.0, deadline - self.sim.now)))
+        yield self.sim.any_of(waits)
+        self._arrival = None
+
+    def run(self) -> Generator:
+        """Process: close batches until stopped."""
+        while not self._stopped:
+            while not self._pending and not self._stopped:
+                yield from self._wait_arrival()
+            if self._stopped:
+                break
+            deadline = self.sim.now + self.timeout
+            batch: List = []
+            while len(batch) < self.max_batch:
+                take = min(self.max_batch - len(batch), len(self._pending))
+                batch.extend(self._pending[:take])
+                del self._pending[:take]
+                if len(batch) >= self.max_batch or self.sim.now >= deadline:
+                    break
+                if not self._pending:
+                    yield from self._wait_arrival(deadline)
+                    if self._stopped:
+                        break
+                    if not self._pending and self.sim.now >= deadline:
+                        break
+            if self.metrics is not None:
+                self.metrics.gauge("serving.batcher_depth").set(
+                    len(self._pending))
+                self.metrics.histogram("serving.batch_size").observe(
+                    len(batch))
+            if batch:
+                self.batches.put(batch)
+        # Flush whatever is queued so a drain-then-stop sees every
+        # request either batched or still pending at shutdown.
+        if self._pending:
+            self.batches.put(self._pending[:])
+            self._pending.clear()

@@ -1,0 +1,104 @@
+"""Harness-level knobs for the inference serving plane.
+
+Mirrors the :class:`repro.distributed.runner.CommConfig` idiom: the
+CLI writes one process-global config (``--replicas``, ``--qps``,
+``--max-batch``, ``--batch-timeout``, ``--slo-ms``) and the serving
+experiment reads it back, so sweeps vary the serving shape without
+code edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..collectives.broadcast import BROADCAST_MODES
+from ..simnet.arrivals import ARRIVAL_KINDS
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Shape of one simulated serving deployment."""
+
+    #: model replicas behind the router (each on its own host)
+    replicas: int = 2
+    #: open-loop offered load, requests per (simulated) second
+    qps: float = 1200.0
+    #: dynamic batcher: close a batch at this many requests ...
+    max_batch: int = 8
+    #: ... or this many seconds after its first request, whichever
+    #: comes first
+    batch_timeout: float = 2e-3
+    #: latency objective used for SLO-attainment accounting (ms)
+    slo_ms: float = 25.0
+    #: arrival process of the load generator (see
+    #: :data:`repro.simnet.arrivals.ARRIVAL_KINDS`)
+    arrival: str = "poisson"
+    #: admission control: shed new requests once this many are in the
+    #: system (queued + dispatched)
+    admission_limit: int = 128
+    #: weight-broadcast schedule ("direct" or "chain")
+    broadcast: str = "direct"
+
+
+_SERVING_CONFIG = ServingConfig()
+
+
+def serving_config() -> ServingConfig:
+    """The currently configured serving-plane knobs."""
+    return _SERVING_CONFIG
+
+
+def configure_serving(replicas: Optional[int] = None,
+                      qps: Optional[float] = None,
+                      max_batch: Optional[int] = None,
+                      batch_timeout: Optional[float] = None,
+                      slo_ms: Optional[float] = None,
+                      arrival: Optional[str] = None,
+                      admission_limit: Optional[int] = None,
+                      broadcast: Optional[str] = None) -> ServingConfig:
+    """Override selected serving knobs; returns the new config."""
+    global _SERVING_CONFIG
+    changes = {}
+    if replicas is not None:
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        changes["replicas"] = replicas
+    if qps is not None:
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        changes["qps"] = qps
+    if max_batch is not None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        changes["max_batch"] = max_batch
+    if batch_timeout is not None:
+        if batch_timeout < 0:
+            raise ValueError("batch_timeout must be non-negative")
+        changes["batch_timeout"] = batch_timeout
+    if slo_ms is not None:
+        if slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        changes["slo_ms"] = slo_ms
+    if arrival is not None:
+        if arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival kind {arrival!r}; "
+                             f"have {ARRIVAL_KINDS}")
+        changes["arrival"] = arrival
+    if admission_limit is not None:
+        if admission_limit < 1:
+            raise ValueError("admission_limit must be at least 1")
+        changes["admission_limit"] = admission_limit
+    if broadcast is not None:
+        if broadcast not in BROADCAST_MODES:
+            raise ValueError(f"unknown broadcast mode {broadcast!r}; "
+                             f"have {BROADCAST_MODES}")
+        changes["broadcast"] = broadcast
+    _SERVING_CONFIG = replace(_SERVING_CONFIG, **changes)
+    return _SERVING_CONFIG
+
+
+def reset_serving_config() -> None:
+    """Restore the built-in serving defaults."""
+    global _SERVING_CONFIG
+    _SERVING_CONFIG = ServingConfig()

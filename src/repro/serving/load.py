@@ -1,0 +1,117 @@
+"""Open-loop load generation for the serving plane.
+
+Clients issue requests on a seeded arrival process (Poisson by
+default) *independently of completions* — an overloaded system keeps
+receiving requests, which is what makes queueing delay and admission
+control observable at all.  Each request is delivered to the router
+over the simulated client-facing transport (kernel TCP by default;
+an RDMA ingest path is modeled for clients inside the fabric).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..simnet.arrivals import make_gaps
+from ..simnet.simulator import Simulator
+
+
+#: per-request payload sizes: a few KB of input features in, a small
+#: prediction out — serving traffic is latency-, not bandwidth-bound
+DEFAULT_REQUEST_BYTES = 4 * 1024
+DEFAULT_RESPONSE_BYTES = 512
+
+
+@dataclass
+class Request:
+    """One inference request's lifetime, all times in sim seconds."""
+
+    req_id: int
+    #: when the client issued it (latency is measured from here)
+    created: float
+    nbytes: int = DEFAULT_REQUEST_BYTES
+    resp_nbytes: int = DEFAULT_RESPONSE_BYTES
+    #: when the router admitted it (post client->router transport)
+    admitted: Optional[float] = None
+    #: when its response left the router back toward the client
+    completed: Optional[float] = None
+    #: admission control turned it away
+    shed: bool = False
+    #: times the router had to re-dispatch it (replica death)
+    redispatches: int = 0
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed is None:
+            return None
+        return self.completed - self.created
+
+
+class LoadGenerator:
+    """Seeded open-loop client population feeding one router.
+
+    ``transport`` models the client leg: ``"tcp"`` charges the kernel
+    receive path and books the router's TCP ingress pipe (clients live
+    outside the RDMA fabric, the paper's front-end case); ``"rdma"``
+    charges a one-sided write's latency only (clients co-located on
+    the fabric).
+    """
+
+    def __init__(self, sim: Simulator, router, *, qps: float, count: int,
+                 seed: int = 0, arrival: str = "poisson",
+                 transport: str = "tcp",
+                 request_bytes: int = DEFAULT_REQUEST_BYTES,
+                 response_bytes: int = DEFAULT_RESPONSE_BYTES) -> None:
+        if transport not in ("tcp", "rdma"):
+            raise ValueError(f"unknown client transport {transport!r}")
+        self.sim = sim
+        self.router = router
+        self.qps = qps
+        self.count = count
+        self.seed = seed
+        self.arrival = arrival
+        self.transport = transport
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.requests: List[Request] = []
+        self.done = sim.event()
+
+    def run(self) -> Generator:
+        """Process: emit ``count`` requests, then trigger :attr:`done`."""
+        rng = random.Random(self.seed)
+        gaps = make_gaps(self.arrival, rng, self.qps)
+        pending = []
+        for req_id in range(self.count):
+            yield self.sim.timeout(next(gaps))
+            request = Request(req_id=req_id, created=self.sim.now,
+                              nbytes=self.request_bytes,
+                              resp_nbytes=self.response_bytes)
+            self.requests.append(request)
+            # Open loop: delivery runs as its own process so a slow
+            # ingest path never delays the next arrival.
+            pending.append(self.sim.spawn(self._deliver(request),
+                                          name=f"ingest-{req_id}"))
+        yield self.sim.all_of(pending)
+        if not self.done.triggered:
+            self.done.succeed()
+
+    def _deliver(self, request: Request) -> Generator:
+        host = self.router.host
+        cost = host.cost
+        if self.transport == "tcp":
+            # Kernel path into the router: wire time through the
+            # router's shared TCP ingress pipe, then the syscall+copy
+            # receive cost on a router CPU lane.
+            ready = self.sim.now + cost.tcp_wire_time(request.nbytes)
+            end = host.tcp.ingress.reserve_after(self.sim.now,
+                                                 request.nbytes, ready)
+            yield self.sim.timeout(end - self.sim.now)
+            yield from host.cpu.run(cost.tcp_recv_time(request.nbytes))
+        else:
+            # Fabric-resident client: one-sided write into a router
+            # ring buffer; no kernel, no router CPU on the data path.
+            yield self.sim.timeout(cost.rdma_write_time(request.nbytes))
+        request.admitted = self.sim.now
+        self.router.submit(request)

@@ -43,6 +43,34 @@ def next_wr_id() -> int:
     return next(_wr_ids)
 
 
+#: canonical protocol-role tags carried on :attr:`WorkRequest.role`.
+#: Training-plane roles (PRs 1-4) plus the serving-plane roles: the
+#: request path ("serving-request" metadata write + payload read and
+#: the "serving-response" write-back) runs at :data:`SERVING_PRIORITY`
+#: so the wire scheduler keeps inference tails bounded, weight
+#: publication ("weight-publish" bulk, "weight-stamp" version stamps,
+#: "weight-ack" swap acknowledgements) runs between the request path
+#: and bulk training traffic ("train-sync").
+ROLE_STATIC_WRITE = "static-write"
+ROLE_DYNAMIC_METADATA = "dynamic-metadata"
+ROLE_DYNAMIC_PAYLOAD_READ = "dynamic-payload-read"
+ROLE_COLLECTIVE_CHUNK = "collective-chunk"
+ROLE_CONTROL = "control"
+ROLE_SERVING_REQUEST = "serving-request"
+ROLE_SERVING_RESPONSE = "serving-response"
+ROLE_WEIGHT_PUBLISH = "weight-publish"
+ROLE_WEIGHT_STAMP = "weight-stamp"
+ROLE_WEIGHT_ACK = "weight-ack"
+ROLE_TRAIN_SYNC = "train-sync"
+
+#: wire-scheduler urgency tiers for co-located serving + training.
+#: Gradient buckets use small non-negative priorities (bucket index),
+#: so the serving tiers sit far above them.
+SERVING_PRIORITY = 100
+PUBLICATION_PRIORITY = 50
+TRAIN_SYNC_PRIORITY = 0
+
+
 @dataclass
 class WorkRequest:
     """One unit of work posted to a queue pair.
@@ -64,7 +92,9 @@ class WorkRequest:
     signaled: bool = True
     #: protocol role the transfer plays ("static-write",
     #: "dynamic-metadata", "dynamic-payload-read", "collective-chunk",
-    #: "control", ...); carried through to metrics and trace spans
+    #: "control", "serving-request", "serving-response",
+    #: "weight-publish", "weight-stamp", "weight-ack", "train-sync",
+    #: ...); carried through to metrics and trace spans
     role: str = ""
     #: wire-scheduling urgency (higher = sooner-needed by its consumer);
     #: only honoured when the NIC runs the priority quantum scheduler

@@ -2,10 +2,20 @@
 
 import pytest
 
-from repro.distributed import (build_training_graph, placement_balance,
-                               round_robin_placement)
+from repro.distributed import (build_training_graph, greedy_placement,
+                               placement_balance, round_robin_placement)
 from repro.graph.partition import partition
 from repro.models import get_model
+from repro.models.spec import ModelSpec, VariableSpec
+
+
+def _uniform_spec(num_vars: int, elements: int = 256) -> ModelSpec:
+    """A synthetic model whose variables all have the same size."""
+    return ModelSpec(
+        name="uniform", family="FCN",
+        variables=tuple(VariableSpec(f"v{i}", (elements,))
+                        for i in range(num_vars)),
+        sample_time=1e-3)
 
 
 class TestRoundRobin:
@@ -38,6 +48,55 @@ class TestRoundRobin:
         assert placement_balance(shards) > 2.0
         lstm_shards = round_robin_placement(get_model("LSTM"), num_ps=8)
         assert placement_balance(lstm_shards) < placement_balance(shards)
+
+
+class TestGreedyTieBreaking:
+    """Determinism of the byte-balanced strategy when loads tie.
+
+    Ties are broken by shard name (``min`` over ``(load, name)``) and
+    equal-size variables keep spec order (Python's sort is stable), so
+    a placement is a pure function of the spec — re-running it can
+    never shuffle variables between shards.
+    """
+
+    def test_single_variable_lands_on_first_shard(self):
+        spec = _uniform_spec(num_vars=1)
+        shards = greedy_placement(spec, num_ps=4)
+        assert [v.name for v in shards["ps0"]] == ["v0"]
+        assert all(not shards[f"ps{i}"] for i in range(1, 4))
+
+    def test_equal_size_variables_round_robin_in_spec_order(self):
+        # All loads tie at every step, so the name tie-break walks the
+        # shards in order and the stable sort keeps variable order:
+        # the result degenerates to round-robin.
+        spec = _uniform_spec(num_vars=6)
+        shards = greedy_placement(spec, num_ps=3)
+        assert [v.name for v in shards["ps0"]] == ["v0", "v3"]
+        assert [v.name for v in shards["ps1"]] == ["v1", "v4"]
+        assert [v.name for v in shards["ps2"]] == ["v2", "v5"]
+        assert placement_balance(shards) == 1.0
+
+    def test_placement_is_deterministic_across_runs(self):
+        spec = get_model("VGGNet-16")
+        first = greedy_placement(spec, num_ps=8)
+        second = greedy_placement(spec, num_ps=8)
+        assert {name: [v.name for v in vs] for name, vs in first.items()} \
+            == {name: [v.name for v in vs] for name, vs in second.items()}
+
+    def test_every_variable_placed_once(self):
+        spec = get_model("Inception-v3")
+        shards = greedy_placement(spec, num_ps=8)
+        placed = [v.name for shard in shards.values() for v in shard]
+        assert sorted(placed) == sorted(v.name for v in spec.variables)
+
+    def test_beats_round_robin_on_skewed_model(self):
+        spec = get_model("VGGNet-16")
+        assert placement_balance(greedy_placement(spec, num_ps=8)) < \
+            placement_balance(round_robin_placement(spec, num_ps=8))
+
+    def test_bad_ps_count(self):
+        with pytest.raises(ValueError):
+            greedy_placement(get_model("GRU"), num_ps=0)
 
 
 class TestTrainingGraph:

@@ -94,3 +94,34 @@ class TestRunner:
                                              batch_size=8, iterations=3)
                    for n in (2, 4)}
         assert (results[4].throughput * 4) > (results[2].throughput * 2)
+
+
+class TestStepTimePercentiles:
+    def test_percentiles_over_steady_state(self, fcn5):
+        result = run_training_benchmark(fcn5, "RDMA", num_servers=2,
+                                        batch_size=8, iterations=5)
+        report = result.step_time_percentiles()
+        assert report["count"] == 4  # warmup iteration excluded
+        assert report["min"] <= report["p50"] <= report["p99"] \
+            <= report["max"]
+        assert "p99.9" in report
+        assert result.step_time_p50 == report["p50"]
+        assert result.step_time_p99 == report["p99"]
+        # The mean of the steady-state iterations is the headline
+        # step_time; the percentile report must agree with it.
+        assert report["mean"] == pytest.approx(result.step_time)
+
+    def test_custom_percentile_list(self, fcn5):
+        result = run_training_benchmark(fcn5, "RDMA", num_servers=2,
+                                        batch_size=8, iterations=3)
+        report = result.step_time_percentiles(percentiles=(10, 95))
+        assert "p10" in report and "p95" in report
+        assert "p99" not in report
+
+    def test_crashed_run_reports_empty(self):
+        spec = sentence_embedding_spec()
+        crash = run_training_benchmark(spec, "gRPC.RDMA", num_servers=2,
+                                       batch_size=8, iterations=2)
+        assert crash.crashed
+        assert crash.step_time_percentiles() == {}
+        assert crash.step_time_p99 == 0.0

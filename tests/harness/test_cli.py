@@ -114,3 +114,37 @@ class TestCaptureFlags:
         assert main(["table2", "--metrics-json",
                      str(tmp_path / "m.json")]) == 0
         assert not capture_enabled()
+
+
+class TestServingFlags:
+    def teardown_method(self):
+        from repro.serving import reset_serving_config
+        reset_serving_config()
+
+    def test_flags_configure_serving(self, capsys):
+        from repro.serving import serving_config
+        assert main(["--replicas", "3", "--qps", "900", "--max-batch", "4",
+                     "--batch-timeout", "0.001", "--slo-ms", "30",
+                     "table2"]) == 0
+        config = serving_config()
+        assert config.replicas == 3
+        assert config.qps == 900.0
+        assert config.max_batch == 4
+        assert config.batch_timeout == 0.001
+        assert config.slo_ms == 30.0
+
+    def test_defaults_untouched_without_flags(self, capsys):
+        from repro.serving import ServingConfig, serving_config
+        assert main(["table2"]) == 0
+        assert serving_config() == ServingConfig()
+
+    def test_invalid_replica_count_rejected(self):
+        with pytest.raises(ValueError):
+            main(["--replicas", "0", "table2"])
+
+    def test_unknown_experiment_lists_known_names(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "serving" in err and "table2" in err

@@ -54,7 +54,7 @@ class TestExperimentResult:
         assert set(ALL_EXPERIMENTS) == {
             "table2", "figure7", "figure8", "figure9", "figure10",
             "figure11", "figure12", "table3", "allreduce", "stallreport",
-            "overlap", "chaos"}
+            "overlap", "chaos", "serving"}
 
 
 class TestFastExperiments:
@@ -95,3 +95,21 @@ class TestFastExperiments:
         assert payload["models"][0]["faster"] is True
         assert payload["models"][0]["eager_overlap_efficiency"] > \
             payload["models"][0]["barrier_overlap_efficiency"]
+
+    def test_serving_experiment(self, tmp_path):
+        import json
+
+        from repro.harness.experiments import serving
+
+        json_path = tmp_path / "bench.json"
+        result = serving(requests=200, json_path=str(json_path))
+        assert len(result.rows) == 4
+        payload = json.loads(json_path.read_text())
+        assert payload["batching_wins"] is True
+        assert payload["priority_wins"] is True
+        assert payload["torn_serves_total"] == 0
+        assert len(payload["runs"]) == 4
+        fifo = next(r for r in payload["runs"] if r["run"] == "fifo+training")
+        prio = next(r for r in payload["runs"]
+                    if r["run"] == "priority+training")
+        assert prio["latency"]["p99"] < fifo["latency"]["p99"]

@@ -1,0 +1,71 @@
+"""Unit tests for gauges and configurable histogram percentiles."""
+
+import pytest
+
+from repro.observability import (DEFAULT_PERCENTILES, Gauge, Histogram,
+                                 MetricsRegistry)
+from repro.observability.registry import percentile_key
+
+
+class TestGauge:
+    def test_set_tracks_last_value_and_high_water(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.high_water == 9
+
+    def test_to_dict(self):
+        gauge = Gauge("x")
+        gauge.set(4.5)
+        assert gauge.to_dict() == {"value": 4.5, "high_water": 4.5}
+
+    def test_registry_lazy_creation(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g") is registry.gauge("g")
+        registry.gauge("g").set(7)
+        assert registry.to_dict()["gauges"]["g"]["value"] == 7
+
+    def test_gauges_absent_from_export_when_unused(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        assert "gauges" not in registry.to_dict()
+
+
+class TestPercentileKeys:
+    def test_integer_percentiles_render_without_decimal(self):
+        assert percentile_key(50) == "p50"
+        assert percentile_key(99) == "p99"
+
+    def test_fractional_percentiles_keep_the_fraction(self):
+        assert percentile_key(99.9) == "p99.9"
+
+    def test_default_list_includes_the_tail(self):
+        assert 99.9 in DEFAULT_PERCENTILES
+
+
+class TestConfigurablePercentiles:
+    def test_to_dict_default_includes_p999(self):
+        histogram = Histogram("lat")
+        for value in range(1, 1001):
+            histogram.observe(float(value))
+        exported = histogram.to_dict()
+        for percentile in DEFAULT_PERCENTILES:
+            assert percentile_key(percentile) in exported
+        assert exported["p99.9"] >= exported["p99"] >= exported["p50"]
+
+    def test_constructor_percentiles_override_default(self):
+        histogram = Histogram("lat", percentiles=(25, 75))
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        exported = histogram.to_dict()
+        assert "p25" in exported and "p75" in exported
+        assert "p99" not in exported
+
+    def test_to_dict_percentiles_argument_wins(self):
+        histogram = Histogram("lat")
+        histogram.observe(1.0)
+        exported = histogram.to_dict(percentiles=(10,))
+        assert "p10" in exported
+        assert "p99" not in exported

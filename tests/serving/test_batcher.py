@@ -1,0 +1,111 @@
+"""Unit tests for the dynamic batcher's size-or-timeout closing rule."""
+
+import pytest
+
+from repro.serving import DynamicBatcher
+from repro.simnet.simulator import Simulator
+
+
+def _drain(store, count):
+    """Process: pull ``count`` batches out of the store."""
+    got = []
+
+    def puller():
+        for _ in range(count):
+            batch = yield store.get()
+            got.append(batch)
+    return got, puller
+
+
+class TestDynamicBatcher:
+    def test_closes_at_max_batch(self):
+        sim = Simulator()
+        batcher = DynamicBatcher(sim, max_batch=4, timeout=1.0)
+        got, puller = _drain(batcher.batches, 2)
+
+        def feeder():
+            for i in range(8):
+                batcher.add(i)
+                yield sim.timeout(1e-6)
+
+        sim.spawn(batcher.run(), name="batcher")
+        sim.spawn(feeder(), name="feeder")
+        sim.run_until_complete(sim.spawn(puller(), name="puller"))
+        assert [len(b) for b in got] == [4, 4]
+        assert got[0] == [0, 1, 2, 3]
+
+    def test_closes_at_timeout(self):
+        sim = Simulator()
+        batcher = DynamicBatcher(sim, max_batch=64, timeout=5e-3)
+        got, puller = _drain(batcher.batches, 1)
+
+        def feeder():
+            batcher.add("a")
+            yield sim.timeout(1e-3)
+            batcher.add("b")
+            # nothing else arrives: the 5 ms deadline must close it
+
+        sim.spawn(batcher.run(), name="batcher")
+        sim.spawn(feeder(), name="feeder")
+        sim.run_until_complete(sim.spawn(puller(), name="puller"))
+        assert got == [["a", "b"]]
+        # The deadline is measured from the *first* request.
+        assert sim.now == pytest.approx(5e-3)
+
+    def test_batch_size_one_dispatches_immediately(self):
+        sim = Simulator()
+        batcher = DynamicBatcher(sim, max_batch=1, timeout=0.0)
+        got, puller = _drain(batcher.batches, 3)
+
+        def feeder():
+            for i in range(3):
+                batcher.add(i)
+                yield sim.timeout(1e-6)
+
+        sim.spawn(batcher.run(), name="batcher")
+        sim.spawn(feeder(), name="feeder")
+        sim.run_until_complete(sim.spawn(puller(), name="puller"))
+        assert got == [[0], [1], [2]]
+
+    def test_stop_flushes_pending(self):
+        sim = Simulator()
+        batcher = DynamicBatcher(sim, max_batch=8, timeout=10.0)
+        got, puller = _drain(batcher.batches, 1)
+
+        def feeder():
+            batcher.add("x")
+            batcher.add("y")
+            yield sim.timeout(1e-3)
+            batcher.stop()
+
+        sim.spawn(batcher.run(), name="batcher")
+        sim.spawn(feeder(), name="feeder")
+        sim.run_until_complete(sim.spawn(puller(), name="puller"))
+        assert got == [["x", "y"]]
+
+    def test_batch_size_histogram(self):
+        from repro.observability import MetricsRegistry
+        sim = Simulator()
+        metrics = MetricsRegistry()
+        batcher = DynamicBatcher(sim, max_batch=2, timeout=1.0,
+                                 metrics=metrics)
+        got, puller = _drain(batcher.batches, 2)
+
+        def feeder():
+            for i in range(4):
+                batcher.add(i)
+                yield sim.timeout(1e-6)
+
+        sim.spawn(batcher.run(), name="batcher")
+        sim.spawn(feeder(), name="feeder")
+        sim.run_until_complete(sim.spawn(puller(), name="puller"))
+        hist = metrics.histograms["serving.batch_size"]
+        assert hist.count == 2
+        assert hist.mean == 2.0
+
+    def test_rejects_bad_knobs(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DynamicBatcher(sim, max_batch=0, timeout=1.0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(sim, max_batch=1, timeout=-1.0)
