@@ -17,10 +17,15 @@ from .fragments import (ChunkRef, halving_doubling_allreduce,
                         halving_doubling_wire_bytes, ring_all_gather,
                         ring_allreduce, ring_allreduce_wire_bytes,
                         ring_reduce_scatter)
+from .hierarchical import (INTER_RACK_ALGORITHMS, hierarchical_allreduce,
+                           hierarchical_wire_bytes, rack_uplink_bytes)
 
 __all__ = [
     "BROADCAST_MODES", "ChunkRef", "DEFAULT_FUSION_BYTES", "GradientBucket", "chunk_ranges",
+    "INTER_RACK_ALGORITHMS",
     "halving_doubling_allreduce", "halving_doubling_wire_bytes",
+    "hierarchical_allreduce", "hierarchical_wire_bytes",
+    "rack_uplink_bytes",
     "plan_buckets", "ring_all_gather", "ring_allreduce",
     "ring_allreduce_wire_bytes", "ring_reduce_scatter",
     "broadcast_hops", "downstream_of", "root_egress_bytes", "upstream_of",

@@ -125,7 +125,7 @@ class AddressBook:
             _type, found, addr, rkey, size = _REPLY.unpack(raw[:_REPLY.size])
             if found:
                 return RemoteMemRegion(addr=addr, rkey=rkey, size=size)
-            yield self.sim.timeout(retry_interval)
+            yield (retry_interval)
         raise DeviceError(
             f"address lookup for {key!r} on {peer} never succeeded")
 

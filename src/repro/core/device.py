@@ -188,7 +188,7 @@ class RdmaChannel:
                           "tcp:wire", start, arrival,
                           args={"dst": dst_host.name, "nbytes": size,
                                 "role": role or "tcp-fallback"})
-        yield sim.timeout(max(arrival - sim.now, 0.0))
+        yield (max(arrival - sim.now, 0.0))
         yield from dst_host.cpu.run(cost.tcp_recv_time(size))
         dst_buf, dst_off = dst_host.address_space.resolve(dst_addr,
                                                           max(size, 1))

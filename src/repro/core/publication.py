@@ -394,7 +394,7 @@ class WeightPublisher:
             yield from self.publish()
             if self._stopped:
                 return
-            yield self.sim.timeout(interval)
+            yield (interval)
 
 
 def build_publication(trainer_device, replica_devices, spec: ModelSpec,

@@ -177,9 +177,9 @@ class RecoveryManager:
             self.stats.retries += 1
             self.stats.retries_by_role[role] = \
                 self.stats.retries_by_role.get(role, 0) + 1
-            yield self.sim.timeout(policy.backoff_delay(attempt))
+            yield (policy.backoff_delay(attempt))
             if channel.broken:
-                yield self.sim.timeout(self.cost.qp_reestablish_time)
+                yield (self.cost.qp_reestablish_time)
                 channel.reconnect()
                 self.stats.qp_reconnects += 1
             self._trace_retry(channel, role, size, attempt, failure, started)

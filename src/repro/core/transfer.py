@@ -122,7 +122,7 @@ class StaticSender:
                 f"static transfer expected {self.nbytes} bytes, "
                 f"got {tensor.nbytes} (shape changed on a static edge?)")
         if extra_delay > 0:
-            yield executor.sim.timeout(extra_delay)
+            yield (extra_delay)
         zero_copy = _in_region(tensor, self.arena_region) and not force_copy
         staging_offset: Optional[int] = None
         if zero_copy:
@@ -133,7 +133,7 @@ class StaticSender:
             staging_offset = self.arena.allocate_block(self.nbytes)
             local_addr = self.arena_region.addr + staging_offset
             staging_start = executor.sim.now
-            yield executor.sim.timeout(
+            yield (
                 executor.cost.malloc_time(self.nbytes))
             # The staging copy is CPU work contending with every other
             # concurrent copy on this host (the cost the analyzer's
@@ -270,7 +270,7 @@ class StaticReceiver:
                 return Outcome.done([self.tensor])
 
             def stage() -> Generator:
-                yield executor.sim.timeout(extra_delay)
+                yield (extra_delay)
                 return [self.tensor]
             return Outcome.wait(executor.sim.spawn(stage()))
         return Outcome.polling(poll=self.poll, complete=complete)
@@ -307,14 +307,14 @@ class DynamicSender:
                 f"dynamic transfer rank changed: {tensor.shape.rank} != "
                 f"{self.ndims} (the paper's protocol fixes the rank)")
         if extra_delay > 0:
-            yield executor.sim.timeout(extra_delay)
+            yield (extra_delay)
         zero_copy = _in_region(tensor, self.arena_region) and not force_copy
         source_addr = tensor.addr
         if not zero_copy:
             staging_offset = self.arena.allocate_block(max(tensor.nbytes, 1))
             source_addr = self.arena_region.addr + staging_offset
             staging_start = executor.sim.now
-            yield executor.sim.timeout(
+            yield (
                 executor.cost.malloc_time(tensor.nbytes))
             yield from executor.host.cpu.run(
                 executor.cost.memcpy_time(tensor.nbytes))
@@ -347,7 +347,7 @@ class DynamicSender:
             flag = FLAG_SET
         encoded = meta.encode() + flag
         pack_start = executor.sim.now
-        yield executor.sim.timeout(
+        yield (
             executor.cost.memcpy_time(len(encoded)))
         _account_serialization(executor, pack_start, "meta-pack")
         proto_start = executor.sim.now
@@ -451,7 +451,7 @@ class DynamicReceiver:
             def fetch() -> Generator:
                 # Unpack metadata (fixed struct), allocate, pull payload.
                 unpack_start = executor.sim.now
-                yield executor.sim.timeout(
+                yield (
                     executor.cost.memcpy_time(len(raw))
                     + executor.cost.malloc_time(meta.data_nbytes))
                 _account_serialization(executor, unpack_start, "meta-unpack")
@@ -497,7 +497,7 @@ class DynamicReceiver:
                               "role": "dynamic-payload-read",
                               "phase": "payload-read"})
                 if extra_delay > 0:
-                    yield executor.sim.timeout(extra_delay)
+                    yield (extra_delay)
                 return [tensor]
             return Outcome.wait(executor.sim.spawn(fetch()))
         return Outcome.polling(poll=self.poll, complete=complete)

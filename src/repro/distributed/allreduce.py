@@ -32,6 +32,8 @@ from ..collectives.fragments import (halving_doubling_allreduce,
                                      ring_allreduce,
                                      ring_allreduce_wire_bytes,
                                      tag_fragment_priority)
+from ..collectives.hierarchical import (hierarchical_allreduce,
+                                        hierarchical_wire_bytes)
 from ..graph.builder import GraphBuilder
 from ..graph.dtypes import DType
 from ..graph.node import Graph, NodeOutput
@@ -41,7 +43,7 @@ from .replication import _LR
 
 
 #: collective algorithms selectable from the harness
-ALLREDUCE_ALGORITHMS = ("ring", "halving-doubling")
+ALLREDUCE_ALGORITHMS = ("ring", "halving-doubling", "hierarchical")
 
 
 @dataclass
@@ -59,10 +61,17 @@ class AllreduceTrainingJob:
     #: False = post-barrier baseline: every bucket's reduction is held
     #: back (by control edges) until the whole backward pass finishes
     eager_flush: bool = True
+    #: rack width for the hierarchical algorithm (None for flat ones)
+    hosts_per_rack: Optional[int] = None
 
     @property
     def bytes_per_worker_per_step(self) -> float:
         """Predicted mean wire payload per worker per mini-batch."""
+        if self.algorithm == "hierarchical":
+            return sum(hierarchical_wire_bytes(bucket.nbytes,
+                                               self.num_workers,
+                                               self.hosts_per_rack or 1)
+                       for bucket in self.buckets)
         predict = (ring_allreduce_wire_bytes if self.algorithm == "ring"
                    else halving_doubling_wire_bytes)
         return sum(predict(bucket.nbytes, self.num_workers)
@@ -74,7 +83,8 @@ def build_allreduce_training_graph(
         algorithm: str = "ring",
         fusion_bytes: int = DEFAULT_FUSION_BYTES,
         lr: Optional[float] = None,
-        eager_flush: bool = True) -> AllreduceTrainingJob:
+        eager_flush: bool = True,
+        hosts_per_rack: Optional[int] = None) -> AllreduceTrainingJob:
     """Construct the replicated, collective-reduced training graph.
 
     Every worker owns a full variable replica; the backward pass emits
@@ -97,8 +107,19 @@ def build_allreduce_training_graph(
     if algorithm not in ALLREDUCE_ALGORITHMS:
         raise ValueError(f"unknown allreduce algorithm {algorithm!r}; "
                          f"have {ALLREDUCE_ALGORITHMS}")
-    collective = (ring_allreduce if algorithm == "ring"
-                  else halving_doubling_allreduce)
+    if algorithm == "hierarchical":
+        if hosts_per_rack is None or hosts_per_rack < 1:
+            raise ValueError("hierarchical allreduce needs hosts_per_rack "
+                             f">= 1, got {hosts_per_rack!r}")
+
+        def collective(builder, packed, workers, name):
+            return hierarchical_allreduce(builder, packed, workers,
+                                          hosts_per_rack=hosts_per_rack,
+                                          name=name)
+    else:
+        collective = (ring_allreduce if algorithm == "ring"
+                      else halving_doubling_allreduce)
+        hosts_per_rack = None
     lr = _LR if lr is None else lr
     builder = GraphBuilder(f"{spec.name}-allreduce-{algorithm}")
     workers = [f"worker{i}" for i in range(num_workers)]
@@ -185,4 +206,4 @@ def build_allreduce_training_graph(
         graph=graph, spec=spec, num_workers=num_workers,
         batch_size=batch_size, devices=devices, algorithm=algorithm,
         fusion_bytes=fusion_bytes, buckets=buckets,
-        eager_flush=eager_flush)
+        eager_flush=eager_flush, hosts_per_rack=hosts_per_rack)

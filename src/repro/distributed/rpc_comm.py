@@ -131,7 +131,7 @@ class GrpcCommRuntime(CommRuntime):
             # Without GPUDirect the tensor must be staged to host memory
             # before the RPC layer can serialize it.
             def deposit() -> Generator:
-                yield executor.sim.timeout(
+                yield (
                     executor.cost.pcie_copy_time(tensor.nbytes))
                 self.rendezvous[executor.device].produce(
                     node.attrs["key"], executor.iteration, tensor)
@@ -172,7 +172,7 @@ class GrpcCommRuntime(CommRuntime):
                     np.frombuffer(payload.data, dtype=dtype.np).reshape(
                         shape.as_tuple()))
             if self.gpu_tensors:
-                yield executor.sim.timeout(
+                yield (
                     executor.cost.pcie_copy_time(payload.size))
             return [tensor]
         return Outcome.wait(executor.sim.spawn(fetch(), name=f"recv-{key}"))

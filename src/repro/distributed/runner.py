@@ -7,8 +7,12 @@ server runs one worker process and one parameter-server process, and
 the paper's "Local" baseline runs compute and variables on a single
 server with no communication.  ``strategy`` swaps the communication
 architecture: ``"ps"`` is the paper's parameter-server graph, while
-``"ring"`` and ``"halving-doubling"`` replace the PS shards with
-worker-to-worker collectives (:mod:`repro.distributed.allreduce`).
+``"ring"``, ``"halving-doubling"`` and ``"hierarchical"`` replace the
+PS shards with worker-to-worker collectives
+(:mod:`repro.distributed.allreduce`).  ``topology="fat-tree"`` swaps
+the flat full-bisection network for the multi-rack leaf/spine fabric
+of :mod:`repro.simnet.fabric`, whose oversubscribed uplinks are what
+the hierarchical collective is shaped around.
 """
 
 from __future__ import annotations
@@ -28,9 +32,11 @@ from ..graph.transfer_api import CommRuntime, NullComm
 from ..models.spec import ModelSpec
 from ..simnet.costmodel import (DEFAULT_COST_MODEL,
                                 DEFAULT_WIRE_QUANTUM_BYTES, CostModel)
+from ..simnet.fabric import Fabric, build_fat_tree
 from ..simnet.metrics import MetricsCollector
 from ..simnet.topology import Cluster
-from .allreduce import (AllreduceTrainingJob, build_allreduce_training_graph)
+from .allreduce import (ALLREDUCE_ALGORITHMS, AllreduceTrainingJob,
+                        build_allreduce_training_graph)
 from .replication import TrainingJob, build_training_graph
 from .rpc_comm import GrpcCommRuntime
 
@@ -38,7 +44,9 @@ from .rpc_comm import GrpcCommRuntime
 MECHANISMS = ("gRPC.TCP", "gRPC.RDMA", "RDMA", "RDMA.cp", "RDMA.gpu",
               "RDMA+GDR", "Local")
 
-STRATEGIES = ("ps", "ring", "halving-doubling")
+STRATEGIES = ("ps", "ring", "halving-doubling", "hierarchical")
+
+TOPOLOGIES = ("flat", "fat-tree")
 
 
 @dataclass(frozen=True)
@@ -75,6 +83,33 @@ class CommConfig:
     retry_timeout: Optional[float] = None
     retry_backoff: Optional[float] = None
     tcp_fallback: Optional[bool] = None
+    #: cluster fabric shape: ``"flat"`` is the historical full-bisection
+    #: model (bit-identical timing), ``"fat-tree"`` builds the two-tier
+    #: leaf/spine fabric of :func:`repro.simnet.fabric.build_fat_tree`
+    topology: str = "flat"
+    #: rack count for fat-tree runs; None derives it from hosts_per_rack
+    racks: Optional[int] = None
+    #: hosts per rack for fat-tree/hierarchical runs; None derives it
+    #: from racks (at least one of the two is needed for either)
+    hosts_per_rack: Optional[int] = None
+    #: rack uplink oversubscription ratio (4.0 = the classic 4:1)
+    oversubscription: float = 1.0
+    #: collective algorithm used where an experiment asks for the
+    #: configured default (``--collective``)
+    collective: str = "hierarchical"
+
+    def rack_width(self, num_servers: int) -> Optional[int]:
+        """Resolve the rack width for ``num_servers`` workers.
+
+        ``hosts_per_rack`` wins when set; otherwise ``racks`` splits the
+        servers into that many equal racks (rounding up).  None when
+        neither knob is set.
+        """
+        if self.hosts_per_rack is not None:
+            return self.hosts_per_rack
+        if self.racks is not None:
+            return (num_servers + self.racks - 1) // self.racks
+        return None
 
     def retry_policy(self) -> Optional[RetryPolicy]:
         """The configured recovery policy (None = library defaults)."""
@@ -112,7 +147,12 @@ def configure_comm(num_cqs: Optional[int] = None,
                    retry_limit: Optional[int] = None,
                    retry_timeout: Optional[float] = None,
                    retry_backoff: Optional[float] = None,
-                   tcp_fallback: Optional[bool] = None) -> CommConfig:
+                   tcp_fallback: Optional[bool] = None,
+                   topology: Optional[str] = None,
+                   racks: Optional[int] = None,
+                   hosts_per_rack: Optional[int] = None,
+                   oversubscription: Optional[float] = None,
+                   collective: Optional[str] = None) -> CommConfig:
     """Override selected comm-runtime knobs; returns the new config."""
     global _COMM_CONFIG
     changes = {}
@@ -158,6 +198,29 @@ def configure_comm(num_cqs: Optional[int] = None,
         changes["retry_backoff"] = retry_backoff
     if tcp_fallback is not None:
         changes["tcp_fallback"] = tcp_fallback
+    if topology is not None:
+        if topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {topology!r}; "
+                             f"have {TOPOLOGIES}")
+        changes["topology"] = topology
+    if racks is not None:
+        if racks < 1:
+            raise ValueError("racks must be at least 1")
+        changes["racks"] = racks
+    if hosts_per_rack is not None:
+        if hosts_per_rack < 1:
+            raise ValueError("hosts_per_rack must be at least 1")
+        changes["hosts_per_rack"] = hosts_per_rack
+    if oversubscription is not None:
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription must be at least 1.0 "
+                             "(1.0 = full bisection)")
+        changes["oversubscription"] = oversubscription
+    if collective is not None:
+        if collective not in ALLREDUCE_ALGORITHMS:
+            raise ValueError(f"unknown collective {collective!r}; "
+                             f"have {ALLREDUCE_ALGORITHMS}")
+        changes["collective"] = collective
     _COMM_CONFIG = replace(_COMM_CONFIG, **changes)
     return _COMM_CONFIG
 
@@ -225,6 +288,18 @@ class BenchmarkResult:
     tracer: Optional[Tracer] = None
     #: simulated hosts carrying workers (for per-worker accounting)
     worker_hosts: Tuple[str, ...] = field(default_factory=tuple)
+    #: the fabric graph the run used (fat-tree runs only)
+    fabric: Optional[Fabric] = None
+    #: simulated clock at the end of the run (utilization horizon)
+    sim_horizon: float = 0.0
+    #: simulator events processed by the run (engine-load figure)
+    sim_events: int = 0
+
+    def link_stats(self) -> Dict[str, Dict]:
+        """Per-trunk-link bytes/queueing/utilization (empty when flat)."""
+        if self.fabric is None:
+            return {}
+        return self.fabric.link_stats(self.sim_horizon or None)
 
     @property
     def step_time(self) -> float:
@@ -306,6 +381,10 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            collect_trace: bool = False,
                            fault_spec: Optional[str] = None,
                            fault_seed: Optional[int] = None,
+                           topology: Optional[str] = None,
+                           racks: Optional[int] = None,
+                           hosts_per_rack: Optional[int] = None,
+                           oversubscription: Optional[float] = None,
                            time_limit: float = 36000.0) -> BenchmarkResult:
     """Run one (model, mechanism, scale, batch) configuration.
 
@@ -338,6 +417,22 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
         fault_spec = _COMM_CONFIG.fault_spec
     if fault_seed is None:
         fault_seed = _COMM_CONFIG.fault_seed
+    if topology is None:
+        topology = _COMM_CONFIG.topology
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; have {TOPOLOGIES}")
+    if oversubscription is None:
+        oversubscription = _COMM_CONFIG.oversubscription
+    if racks is None:
+        racks = _COMM_CONFIG.racks
+    if hosts_per_rack is None:
+        hosts_per_rack = _COMM_CONFIG.hosts_per_rack
+    if hosts_per_rack is not None:
+        rack_width: Optional[int] = hosts_per_rack
+    elif racks is not None:
+        rack_width = (num_servers + racks - 1) // racks
+    else:
+        rack_width = None
     if priority_sched:
         base_cost = cost if cost is not None else DEFAULT_COST_MODEL
         if base_cost.wire_quantum_bytes <= 0:
@@ -354,11 +449,26 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
         kwargs = {}
         if fusion_bytes is not None:
             kwargs["fusion_bytes"] = fusion_bytes
+        if strategy == "hierarchical":
+            if rack_width is None:
+                raise ValueError(
+                    "the hierarchical strategy needs a rack shape; set "
+                    "racks= or hosts_per_rack= (or --racks/--hosts-per-rack)")
+            kwargs["hosts_per_rack"] = rack_width
         job = build_allreduce_training_graph(
             spec, num_workers=num_servers, batch_size=batch_size,
             algorithm=strategy, eager_flush=eager_flush, **kwargs)
         predicted = job.bytes_per_worker_per_step
-    cluster = Cluster(1 if local else num_servers, cost=cost)
+    fabric: Optional[Fabric] = None
+    if topology == "fat-tree" and not local:
+        if rack_width is None:
+            raise ValueError(
+                "the fat-tree topology needs a rack shape; set racks= or "
+                "hosts_per_rack= (or --racks/--hosts-per-rack)")
+        fabric = build_fat_tree(num_servers, rack_width,
+                                oversubscription=oversubscription,
+                                cost=cost)
+    cluster = Cluster(1 if local else num_servers, cost=cost, fabric=fabric)
     if fault_spec:
         cluster.install_faults(
             FaultInjector.from_spec(fault_spec, seed=fault_seed))
@@ -389,7 +499,18 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                                strategy=strategy,
                                predicted_wire_bytes=predicted,
                                metrics=collector, tracer=tracer,
-                               worker_hosts=worker_hosts)
+                               worker_hosts=worker_hosts, fabric=fabric,
+                               sim_horizon=cluster.sim.now,
+                               sim_events=cluster.sim.event_count)
+    if tracer is not None and fabric is not None:
+        # Per-trunk-link gauges: steady utilization + queueing seconds.
+        horizon = cluster.sim.now
+        for link_name, stats_ in fabric.link_stats(horizon).items():
+            tracer.metrics.gauge(
+                f"link_utilization:{link_name}").set(stats_["utilization"])
+            tracer.metrics.gauge(
+                f"link_queue_seconds:{link_name}").set(
+                    stats_["queue_seconds"])
     if tracer is not None:
         capture_run(
             label=(f"{spec.name}/{mechanism}/{strategy}/"
@@ -404,4 +525,6 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            stats=stats, strategy=strategy,
                            predicted_wire_bytes=predicted,
                            metrics=collector, tracer=tracer,
-                           worker_hosts=worker_hosts)
+                           worker_hosts=worker_hosts, fabric=fabric,
+                           sim_horizon=cluster.sim.now,
+                           sim_events=cluster.sim.event_count)

@@ -211,16 +211,28 @@ class Executor:
         hostname = self.host.name
         iteration = self.iteration
         polls_since_park = 0
+        # Hot-loop locals: this loop runs once per scheduled node visit
+        # (including every poll-miss sweep), so attribute loads add up
+        # at 100+ simulated hosts.
+        sim = self.sim
+        sched_dispatch = self.cost.sched_dispatch
+        poll_check = self.cost.poll_check
+        poll_requeue = self.cost.poll_requeue
+        graph_node = self.graph.node
+        #: count of queued nodes NOT in their polling phase — the O(1)
+        #: replacement for sweeping the whole queue on every poll miss
+        fresh_in_queue = len(ready)
 
         def finish(node: Node, outputs: List[Tensor]) -> None:
-            nonlocal completed
+            nonlocal completed, fresh_in_queue
             for index, tensor in enumerate(outputs):
                 self.values[(node.name, index)] = tensor
             completed += 1
             for dependent in dependents[node.name]:
                 pending[dependent] -= 1
                 if pending[dependent] == 0:
-                    ready.append(self.graph.node(dependent))
+                    ready.append(graph_node(dependent))
+                    fresh_in_queue += 1
             self._notify()
 
         while completed < total:
@@ -230,47 +242,45 @@ class Executor:
                     raise ExecutorError(
                         f"executor {self.device} stalled at "
                         f"{completed}/{total} nodes")
-                t0 = self.sim.now
+                t0 = sim.now
                 yield self._wait_for_wake()
                 if tracer is not None:
                     tracer.account(hostname, track, iteration, "wire_wait",
-                                   t0, self.sim.now)
+                                   t0, sim.now)
                 continue
             node = ready.popleft()
-            t0 = self.sim.now
-            yield self.sim.timeout(self.cost.sched_dispatch)
+            t0 = sim.now
+            yield sched_dispatch
             if tracer is not None:
                 tracer.account(hostname, track, iteration, "sched",
-                               t0, self.sim.now, emit=False)
+                               t0, sim.now, emit=False)
 
             if node.name in polling:
                 outcome = polling[node.name]
-                t0 = self.sim.now
-                yield self.sim.timeout(self.cost.poll_check)
+                t0 = sim.now
+                yield poll_check
                 if tracer is not None:
                     tracer.account(hostname, track, iteration, "poll",
-                                   t0, self.sim.now, emit=False)
+                                   t0, sim.now, emit=False)
                     polls_since_park += 1
                 if not outcome.poll():
                     self.poll_misses += 1
-                    t0 = self.sim.now
-                    yield self.sim.timeout(self.cost.poll_requeue)
+                    t0 = sim.now
+                    yield poll_requeue
                     if tracer is not None:
                         tracer.account(hostname, track, iteration, "poll",
-                                       t0, self.sim.now, emit=False)
+                                       t0, sim.now, emit=False)
                     ready.append(node, retry=True)
                     sweep_misses += 1
-                    if (sweep_misses >= len(ready)
-                            and not any(n.name not in polling
-                                        for n in ready)):
+                    if sweep_misses >= len(ready) and fresh_in_queue == 0:
                         # A whole sweep of pollers missed and nothing
                         # else is runnable: idle with growing backoff so
                         # polling does not monopolize the simulated CPU.
-                        t0 = self.sim.now
+                        t0 = sim.now
                         yield self._wait_for_wake(timeout=idle_backoff)
                         if tracer is not None:
                             tracer.account(hostname, track, iteration,
-                                           "poll_wait", t0, self.sim.now)
+                                           "poll_wait", t0, sim.now)
                             tracer.metrics.histogram(
                                 "poll_iterations_per_wake").observe(
                                     polls_since_park)
@@ -284,11 +294,12 @@ class Executor:
                 in_flight -= 1
                 next_outcome = outcome.complete()
             else:
-                t0 = self.sim.now
+                fresh_in_queue -= 1
+                t0 = sim.now
                 next_outcome = yield from self._execute(node, feeds)
                 if tracer is not None:
                     tracer.account(hostname, track, iteration, "op",
-                                   t0, self.sim.now,
+                                   t0, sim.now,
                                    name=f"{node.op_type}:{node.name}")
 
             if next_outcome.kind == "sync":
@@ -346,14 +357,14 @@ class Executor:
                 result = yield from result
             return result
         if op_type == "Variable":
-            yield self.sim.timeout(self.cost.op_overhead)
+            yield self.cost.op_overhead
             return Outcome.done([self.variables[node.name]])
         if op_type == "Placeholder":
-            yield self.sim.timeout(self.cost.op_overhead)
+            yield self.cost.op_overhead
             return Outcome.done([self._feed_tensor(node, feeds)])
 
         op = get_op(op_type)
-        yield self.sim.timeout(max(op.cost(node, self.cost), 0.0))
+        yield max(op.cost(node, self.cost), 0.0)
 
         if op_type == "ApplyGradient":
             return Outcome.done([self._apply_gradient(node, inputs)])

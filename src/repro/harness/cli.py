@@ -13,7 +13,9 @@ import argparse
 import sys
 import time
 
-from ..distributed.runner import MECHANISMS, configure_comm
+from ..distributed.runner import (MECHANISMS, TOPOLOGIES, comm_config,
+                                  configure_comm)
+from ..distributed.allreduce import ALLREDUCE_ALGORITHMS
 from ..serving.config import configure_serving
 from ..observability.capture import (configure_capture, flush_capture,
                                      reset_capture)
@@ -72,6 +74,31 @@ def main(argv=None) -> int:
                         help="degrade persistently failing RDMA channels to "
                              "the kernel TCP path (--no-tcp-fallback raises "
                              "instead)")
+    fabric_group = parser.add_argument_group(
+        "fabric", "multi-rack fabric topology (the 'scale' experiment and "
+                  "any run on a fat tree)")
+    fabric_group.add_argument("--topology", choices=TOPOLOGIES, default=None,
+                              help="physical fabric shape: 'flat' is the "
+                                   "classic single-switch full-bisection "
+                                   "model; 'fat-tree' adds racks, ToR/spine "
+                                   "switches, and contended uplinks")
+    fabric_group.add_argument("--racks", type=int, default=None, metavar="N",
+                              help="number of racks on the fat tree (workers "
+                                   "are split evenly across them)")
+    fabric_group.add_argument("--hosts-per-rack", type=int, default=None,
+                              metavar="N",
+                              help="hosts under each top-of-rack switch "
+                                   "(takes precedence over --racks)")
+    fabric_group.add_argument("--oversubscription", type=float, default=None,
+                              metavar="X",
+                              help="rack uplink oversubscription ratio "
+                                   "(1.0 = full bisection, 4.0 = the "
+                                   "classic 4:1)")
+    fabric_group.add_argument("--collective", choices=ALLREDUCE_ALGORITHMS,
+                              default=None,
+                              help="allreduce algorithm used where an "
+                                   "experiment asks for the configured "
+                                   "default (hierarchical is rack-aware)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a merged Chrome trace_event JSON of "
                              "every benchmark run (open in Perfetto)")
@@ -108,6 +135,18 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiment(s): {', '.join(unknown)} "
                      f"(known: {', '.join(ALL_EXPERIMENTS)})")
 
+    fabric_flags = (args.racks is not None
+                    or args.hosts_per_rack is not None
+                    or args.oversubscription is not None)
+    topology = args.topology
+    if fabric_flags and (topology or comm_config().topology) == "flat":
+        parser.error("--racks/--hosts-per-rack/--oversubscription describe "
+                     "a fat tree; add --topology fat-tree")
+    if topology == "fat-tree" and args.racks is None \
+            and args.hosts_per_rack is None:
+        parser.error("--topology fat-tree needs a rack shape; give "
+                     "--racks or --hosts-per-rack")
+
     fusion_bytes = (None if args.fusion_mb is None
                     else int(args.fusion_mb * 1024 * 1024))
     configure_comm(num_cqs=args.num_cqs,
@@ -120,7 +159,12 @@ def main(argv=None) -> int:
                    fault_seed=args.fault_seed,
                    retry_limit=args.retry_limit,
                    retry_timeout=args.retry_timeout,
-                   tcp_fallback=args.tcp_fallback)
+                   tcp_fallback=args.tcp_fallback,
+                   topology=args.topology,
+                   racks=args.racks,
+                   hosts_per_rack=args.hosts_per_rack,
+                   oversubscription=args.oversubscription,
+                   collective=args.collective)
     configure_serving(replicas=args.replicas,
                       qps=args.qps,
                       max_batch=args.max_batch,

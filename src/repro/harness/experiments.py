@@ -15,9 +15,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..models.convergence import APPS
-from ..models.spec import MB, ModelSpec
+from ..models.spec import MB, ModelSpec, VariableSpec
 from ..models.zoo import all_models, get_model, model_names
-from ..distributed.runner import BenchmarkResult, run_training_benchmark
+from ..distributed.runner import (BenchmarkResult, comm_config,
+                                  run_training_benchmark)
 from ..workloads.microbench import MICRO_MECHANISMS, sweep_microbench
 from .series import ExperimentResult
 
@@ -611,6 +612,161 @@ def serving(model: str = "FCN-5", requests: int = 600, seed: int = 7,
     return result
 
 
+def _scale_spec(variable_mb: float = 24.0, num_variables: int = 2,
+                sample_time: float = 0.004) -> ModelSpec:
+    """A synthetic model sized for the scale sweep.
+
+    Every variable exceeds the 16 MiB dense limit, so its replicas,
+    gradients and fusion buffers all take virtual (size-only) backings:
+    a 256-worker run costs simulator events, not numpy arithmetic or
+    resident RAM, which is the regime the scale pass optimizes.
+    """
+    elements = int(variable_mb * MB) // 4
+    variables = tuple(VariableSpec(f"synth/v{i}", (elements,))
+                      for i in range(num_variables))
+    total_mb = variable_mb * num_variables
+    return ModelSpec(name=f"Synth-{total_mb:g}MB", family="FCN",
+                     variables=variables, sample_time=sample_time)
+
+
+def scale(worker_counts: Sequence[int] = (64,),
+          hosts_per_rack: Optional[int] = None,
+          oversubscription: Optional[float] = None, iterations: int = 2,
+          batch_size: int = 1, fusion_mb: float = 64.0,
+          max_flat_ring_workers: int = 128,
+          collective: Optional[str] = None,
+          json_path: Optional[str] = None) -> ExperimentResult:
+    """Extension: multi-rack scale sweep on an oversubscribed fat tree.
+
+    For each worker count, trains the synthetic large-tensor model on a
+    fat-tree fabric (``hosts_per_rack`` wide racks, ``oversubscription``
+    : 1 uplinks) twice: a flat ring allreduce — whose ``2·(N-1)`` step
+    chain crosses the rack boundary on R edges — and the rack-aware
+    hierarchical collective.  Reports step times, per-rack trunk
+    traffic, uplink queueing, and the simulator's event throughput for
+    each run.  Flat ring is skipped above ``max_flat_ring_workers``
+    (its transfer count grows ~N× faster than the hierarchical one);
+    the hierarchical rows keep going.  Pass ``json_path`` to dump the
+    sweep (CI commits this as ``BENCH_scale.json`` and fails unless
+    hierarchical beats flat ring wherever both ran).
+
+    The hierarchy pays off from about four racks up: at two racks the
+    inter-rack phase still moves ``M`` bytes per rack over the trunk
+    with barely any pipeline depth, and the flat ring's longer chain
+    keeps the uplink busier.  The canonical shapes here (8-wide racks,
+    8+ racks, 4:1) are squarely in the winning regime.
+    """
+    import time as _time
+
+    spec = _scale_spec()
+    fusion_bytes = int(fusion_mb * MB)
+    cfg = comm_config()
+    # A fat-tree shape configured via --topology/--hosts-per-rack/
+    # --oversubscription is authoritative; otherwise the sweep's
+    # canonical 8-wide racks at 4:1.
+    if hosts_per_rack is None:
+        hosts_per_rack = (cfg.hosts_per_rack
+                          if cfg.topology == "fat-tree"
+                          and cfg.hosts_per_rack else 8)
+    if oversubscription is None:
+        oversubscription = (cfg.oversubscription
+                            if cfg.topology == "fat-tree" else 4.0)
+    treatment = collective or cfg.collective
+    strategies = (("ring",) if treatment == "ring"
+                  else ("ring", treatment))
+    result = ExperimentResult(
+        experiment="Extension: scale",
+        title=(f"Fat-tree scale sweep: {spec.name}, racks of "
+               f"{hosts_per_rack}, {oversubscription:g}:1 uplinks"),
+        columns=["workers", "racks", "strategy", "step_ms", "uplink_mb",
+                 "uplink_queue_ms", "max_uplink_util_pct", "sim_events",
+                 "events_per_s", "wall_s"])
+    sweep: List[Dict[str, object]] = []
+    all_faster = True
+    for workers in worker_counts:
+        if workers % hosts_per_rack != 0:
+            raise ValueError(f"{workers} workers do not tile into racks "
+                             f"of {hosts_per_rack}")
+        racks = workers // hosts_per_rack
+        entry: Dict[str, object] = {"workers": workers, "racks": racks,
+                                    "hosts_per_rack": hosts_per_rack,
+                                    "oversubscription": oversubscription}
+        for strategy in strategies:
+            if strategy == "ring" and workers > max_flat_ring_workers:
+                result.add_row(workers, racks, strategy, None, None, None,
+                               None, None, None, None)
+                entry["ring"] = None
+                continue
+            started = _time.time()
+            bench = run_training_benchmark(
+                spec, "RDMA", num_servers=workers, batch_size=batch_size,
+                iterations=iterations, strategy=strategy,
+                fusion_bytes=fusion_bytes, topology="fat-tree",
+                hosts_per_rack=hosts_per_rack,
+                oversubscription=oversubscription)
+            wall = _time.time() - started
+            if bench.crashed:
+                raise RuntimeError(f"scale run {strategy}/n{workers} "
+                                   f"crashed: {bench.crash_reason}")
+            stats = bench.link_stats()
+            uplink = {name: s for name, s in stats.items()
+                      if name.startswith("tor")}
+            uplink_bytes = sum(s["bytes_carried"] for s in uplink.values())
+            queue_s = sum(s["queue_seconds"] for s in uplink.values())
+            max_util = max((s["utilization"] for s in uplink.values()),
+                           default=0.0)
+            events = bench.sim_events
+            record = {
+                "step_ms": bench.step_time * 1e3,
+                "uplink_mb": uplink_bytes / MB,
+                "uplink_queue_ms": queue_s * 1e3,
+                "max_uplink_utilization": max_util,
+                "predicted_wire_mb": (bench.predicted_wire_bytes or 0) / MB,
+                "sim_events": events,
+                "events_per_s": events / wall if wall > 0 else 0.0,
+                "wall_s": wall,
+            }
+            entry[strategy] = record
+            result.add_row(workers, racks, strategy,
+                           round(record["step_ms"], 3),
+                           round(record["uplink_mb"], 1),
+                           round(record["uplink_queue_ms"], 3),
+                           round(max_util * 100, 1), events,
+                           round(record["events_per_s"]), round(wall, 1))
+        ring_rec = entry.get("ring")
+        hier_rec = entry.get(treatment) if treatment != "ring" else None
+        if ring_rec and hier_rec:
+            speedup = ((ring_rec["step_ms"] - hier_rec["step_ms"])
+                       / ring_rec["step_ms"] * 100)
+            entry["hierarchical_speedup_pct"] = speedup
+            all_faster = all_faster and speedup > 0
+            result.note(f"n={workers}: {treatment} "
+                        f"{hier_rec['step_ms']:.2f} ms vs ring "
+                        f"{ring_rec['step_ms']:.2f} ms "
+                        f"({speedup:+.1f}% faster)")
+        sweep.append(entry)
+    result.note(f"model {spec.name} ({spec.model_mb:.0f} MB in "
+                f"{spec.num_variables} virtual tensors), batch "
+                f"{batch_size}, {iterations} iterations")
+    if json_path is not None:
+        payload = {
+            "experiment": "scale",
+            "config": {"model": spec.name, "model_mb": spec.model_mb,
+                       "hosts_per_rack": hosts_per_rack,
+                       "oversubscription": oversubscription,
+                       "batch_size": batch_size, "iterations": iterations,
+                       "fusion_mb": fusion_mb,
+                       "collective": treatment,
+                       "worker_counts": list(worker_counts)},
+            "sweep": sweep,
+            "hierarchical_beats_ring": all_faster,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -625,6 +781,7 @@ ALL_EXPERIMENTS = {
     "overlap": overlap,
     "chaos": chaos,
     "serving": serving,
+    "scale": scale,
 }
 
 
@@ -650,5 +807,6 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
             "overlap": overlap(models=("FCN-5",), num_servers=2),
             "chaos": chaos(seeds=(0, 1)),
             "serving": serving(requests=300),
+            "scale": scale(worker_counts=(32,), hosts_per_rack=8),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

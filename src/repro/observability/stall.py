@@ -49,6 +49,11 @@ class IterationStall:
     executors: List[ExecutorBreakdown]
     overlapped_serialization: float    # protocol-track work, concurrent
     wire_busy: float = 0.0             # union of wire spans in the window
+    #: fabric uplink queueing inside the window, summed across links —
+    #: transfer-seconds spent parked behind a busy trunk link (two
+    #: links congested at once count twice: it is a contention volume,
+    #: not a timeline share)
+    link_queue: float = 0.0
 
     @property
     def critical(self) -> Optional[ExecutorBreakdown]:
@@ -137,11 +142,22 @@ class StallReport:
         hidden = sum(it.hidden_wire for it in self.iterations)
         return min(hidden / wire, 1.0)
 
+    def link_contention(self) -> float:
+        """Total uplink queueing (transfer-seconds) across iterations.
+
+        Zero on a flat topology or an uncontended fat tree; growing
+        with oversubscription.  Reported alongside (not inside) the
+        critical-path categories because queueing delays the *wire*
+        timeline — the executor sees it only as longer ``wire_wait``.
+        """
+        return sum(it.link_queue for it in self.iterations)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "totals": self.totals(),
             "fractions": self.fractions(),
             "overlap_efficiency": self.overlap_efficiency(),
+            "link_contention_seconds": self.link_contention(),
             "faults": dict(self.faults),
             "iterations": [
                 {
@@ -152,6 +168,7 @@ class StallReport:
                     "components": it.components,
                     "overlapped_serialization": it.overlapped_serialization,
                     "wire_busy": it.wire_busy,
+                    "link_queue": it.link_queue,
                     "overlap_efficiency": it.overlap_efficiency,
                     "executors": [
                         {"host": e.host, "track": e.track,
@@ -200,6 +217,10 @@ class StallReport:
             wire = sum(it.wire_busy for it in self.iterations)
             lines.append(f"overlap efficiency: {efficiency * 100:.1f}% "
                          f"of {wire * 1e3:.3f}ms wire time hidden")
+        contention = self.link_contention()
+        if contention > 0.0:
+            lines.append(f"link contention: {contention * 1e3:.3f}ms "
+                         f"queued behind busy fabric uplinks")
         if self.faults:
             by_kind = self.faults.get("by_kind", {})
             kinds = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
@@ -241,6 +262,8 @@ def build_stall_report(tracer: Tracer) -> StallReport:
     wire_spans = sorted(
         ((s.start, s.end) for s in tracer.spans if s.category == "wire"),
         key=lambda iv: iv[0])
+    queue_spans = [(s.start, s.end) for s in tracer.spans
+                   if s.category == "link_queue"]
     for window in tracer.iteration_windows:
         executors = [
             ExecutorBreakdown(host=host, track=track,
@@ -262,7 +285,11 @@ def build_stall_report(tracer: Tracer) -> StallReport:
                            executors=executors,
                            overlapped_serialization=overlapped,
                            wire_busy=_wire_busy_union(
-                               wire_spans, window.start, window.end)))
+                               wire_spans, window.start, window.end),
+                           link_queue=sum(
+                               max(0.0, min(end, window.end)
+                                   - max(start, window.start))
+                               for start, end in queue_spans)))
     fault_spans = [s for s in tracer.spans if s.category == "fault"]
     retry_spans = [s for s in tracer.spans if s.category == "retry"]
     if fault_spans or retry_spans:

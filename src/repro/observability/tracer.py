@@ -41,6 +41,7 @@ CATEGORIES = (
     "protocol",       # transfer layer: one protocol exchange (§3.2/§3.3)
     "serialization",  # transfer layer: staging copies, meta pack/unpack
     "collective",     # collective fragment chunk hop
+    "link_queue",     # fabric: transfer queued behind a busy trunk link
     "iteration",      # session: one mini-batch iteration
     "fault",          # fault plane: one injected fault (zero-duration)
     "retry",          # recovery layer: one backoff + re-issue

@@ -152,7 +152,7 @@ class RpcEndpoint:
         handler = self._handlers.get(method)
         body = Message(**{k: v for k, v in envelope.fields.items()
                           if not k.startswith("_")})
-        yield self.sim.timeout(self.cost.rpc_dispatch)
+        yield (self.cost.rpc_dispatch)
         if handler is None:
             reply = Message(_error=f"unknown method {method!r}")
         else:

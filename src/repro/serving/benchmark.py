@@ -260,9 +260,9 @@ def _background_traffic(sim: Simulator, channel, src, sink_remote,
                 priority=TRAIN_SYNC_PRIORITY)
         except DeviceError:
             pass
-        yield sim.timeout(50e-6)
+        yield (50e-6)
 
 
 def _killer(sim: Simulator, replica: Replica, at: float) -> Generator:
-    yield sim.timeout(at)
+    yield (at)
     replica.fail()

@@ -84,7 +84,7 @@ class LoadGenerator:
         gaps = make_gaps(self.arrival, rng, self.qps)
         pending = []
         for req_id in range(self.count):
-            yield self.sim.timeout(next(gaps))
+            yield (next(gaps))
             request = Request(req_id=req_id, created=self.sim.now,
                               nbytes=self.request_bytes,
                               resp_nbytes=self.response_bytes)
@@ -107,11 +107,11 @@ class LoadGenerator:
             ready = self.sim.now + cost.tcp_wire_time(request.nbytes)
             end = host.tcp.ingress.reserve_after(self.sim.now,
                                                  request.nbytes, ready)
-            yield self.sim.timeout(end - self.sim.now)
+            yield (end - self.sim.now)
             yield from host.cpu.run(cost.tcp_recv_time(request.nbytes))
         else:
             # Fabric-resident client: one-sided write into a router
             # ring buffer; no kernel, no router CPU on the data path.
-            yield self.sim.timeout(cost.rdma_write_time(request.nbytes))
+            yield (cost.rdma_write_time(request.nbytes))
         request.admitted = self.sim.now
         self.router.submit(request)

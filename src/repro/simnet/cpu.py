@@ -50,4 +50,4 @@ class CpuEngine:
         """
         end = self.reserve(duration)
         if end > self.sim.now:
-            yield self.sim.timeout(end - self.sim.now)
+            yield (end - self.sim.now)

@@ -1,0 +1,397 @@
+"""Graph-based cluster fabric: hosts, ToR/spine switches, capacity links.
+
+The flat :class:`~repro.simnet.topology.Cluster` models the network as
+one full-bisection switch: every NIC's egress and ingress pipes are the
+only contention points.  That is faithful for the paper's 8-server
+testbed but cannot express the dominant effect at production scale —
+**oversubscribed uplinks**.  This module adds an explicit fabric graph:
+
+* typed :class:`FabricNode` s (``host``, ``tor``, ``spine``);
+* directed :class:`FabricLink` s, each with its own bandwidth-sharing
+  :class:`~repro.simnet.nic.Pipe` and per-hop propagation latency;
+* deterministic ECMP routing: all equal-cost shortest paths between a
+  host pair are enumerated once, and one is picked by a stable hash of
+  the (src, dst) pair — the same flow always takes the same path, and
+  two runs of the same configuration replay bit-identically;
+* :func:`build_fat_tree` — a two-tier leaf/spine (folded-Clos) builder
+  parameterized by racks, hosts per rack, and oversubscription ratio.
+
+Division of labour with the NIC
+-------------------------------
+The first and last hop of every path (``host -> tor`` and
+``tor -> host``) are the NIC's access links; their serialization and
+fan-in contention are already modelled by the NIC egress/ingress pipes
+(or the priority wire schedulers), so :meth:`Fabric.traverse` charges
+only their *latency* and reserves capacity exclusively on the **trunk**
+links between switches.  Consequently a transfer between two hosts on
+the same ToR costs exactly what the flat topology charges (the trunk
+portion of its path is empty), and a cluster constructed without a
+fabric is bit-identical to one that never imported this module.
+
+Contention model
+----------------
+A transfer of ``S`` bytes cut-throughs the path: each trunk link books
+``S / bandwidth`` seconds of capacity starting no earlier than the
+first bit's arrival at that link, the first bit advances by one hop
+latency per link, and the last byte cannot leave a link before the
+slower of (that link's booking end, its own arrival upstream).  Time a
+booking spends waiting for link capacity is *uplink queueing*; it is
+accumulated per link and, when a tracer is attached, emitted as
+``link_queue`` spans so the stall report can attribute it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .nic import Pipe
+
+
+class FabricError(ValueError):
+    """Malformed fabric graphs or routing requests."""
+
+
+NODE_KINDS = ("host", "tor", "spine")
+
+
+@dataclass(frozen=True)
+class FabricNode:
+    """One vertex of the fabric graph."""
+
+    name: str
+    kind: str  # "host" | "tor" | "spine"
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_KINDS:
+            raise FabricError(f"unknown node kind {self.kind!r}; "
+                              f"have {NODE_KINDS}")
+
+
+class FabricLink:
+    """One directed capacity link of the fabric.
+
+    Trunk links (switch-to-switch) own a :class:`Pipe` and genuinely
+    contend; host access links exist for routing and accounting but are
+    capacity-modelled by the NIC pipes (see the module docstring).
+    """
+
+    __slots__ = ("src", "dst", "bandwidth", "latency", "trunk", "pipe",
+                 "bytes_carried", "queue_seconds", "transfers")
+
+    def __init__(self, src: FabricNode, dst: FabricNode, bandwidth: float,
+                 latency: float) -> None:
+        if bandwidth <= 0:
+            raise FabricError(f"link {src.name}->{dst.name} needs positive "
+                              f"bandwidth, got {bandwidth}")
+        if latency < 0:
+            raise FabricError(f"link {src.name}->{dst.name} has negative "
+                              f"latency {latency}")
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.trunk = src.kind != "host" and dst.kind != "host"
+        self.pipe = Pipe(bandwidth)
+        self.bytes_carried = 0
+        self.queue_seconds = 0.0
+        self.transfers = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.src.name}->{self.dst.name}"
+
+    def busy_seconds(self) -> float:
+        """Total booked wire time on this link (trunk links only)."""
+        return sum(hi - lo for lo, hi in self.pipe._busy)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of capacity used over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_seconds() / horizon, 1.0)
+
+    def __repr__(self) -> str:
+        return (f"FabricLink({self.name}, {self.bandwidth / 1e9:.1f}GB/s, "
+                f"{self.latency * 1e6:.2f}us)")
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """Timing of one transfer's passage across a fabric path."""
+
+    #: when the first bit reaches the destination NIC's ingress
+    first_bit: float
+    #: when the last byte can reach the destination NIC's ingress
+    last_byte: float
+    #: summed propagation latency of every hop on the path
+    latency: float
+    #: total time spent queueing for trunk-link capacity
+    queueing: float
+
+
+class Fabric:
+    """The cluster fabric graph plus its deterministic router."""
+
+    def __init__(self, cost: Optional[CostModel] = None) -> None:
+        self.cost = cost or DEFAULT_COST_MODEL
+        self.nodes: Dict[str, FabricNode] = {}
+        self.links: Dict[Tuple[str, str], FabricLink] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        #: (src, dst) -> chosen path as a tuple of links; lazily filled
+        self._route_cache: Dict[Tuple[str, str], Tuple[FabricLink, ...]] = {}
+        #: optional tracer; when set, uplink queueing is recorded as
+        #: ``link_queue`` spans for the stall-attribution report
+        self.tracer = None
+
+    # -- construction ------------------------------------------------------------
+
+    def add_node(self, name: str, kind: str) -> FabricNode:
+        if name in self.nodes:
+            raise FabricError(f"duplicate fabric node {name!r}")
+        node = FabricNode(name=name, kind=kind)
+        self.nodes[name] = node
+        self._adjacency[name] = []
+        return node
+
+    def add_link(self, src: str, dst: str, bandwidth: float,
+                 latency: float) -> FabricLink:
+        """Add one directed link (call twice for a full-duplex cable)."""
+        if src not in self.nodes or dst not in self.nodes:
+            missing = src if src not in self.nodes else dst
+            raise FabricError(f"link endpoint {missing!r} is not a node")
+        if (src, dst) in self.links:
+            raise FabricError(f"duplicate link {src}->{dst}")
+        link = FabricLink(self.nodes[src], self.nodes[dst], bandwidth, latency)
+        self.links[(src, dst)] = link
+        self._adjacency[src].append(dst)
+        self._route_cache.clear()
+        return link
+
+    def add_duplex(self, a: str, b: str, bandwidth: float,
+                   latency: float) -> Tuple[FabricLink, FabricLink]:
+        return (self.add_link(a, b, bandwidth, latency),
+                self.add_link(b, a, bandwidth, latency))
+
+    def hosts(self) -> List[str]:
+        return [n.name for n in self.nodes.values() if n.kind == "host"]
+
+    def trunk_links(self) -> List[FabricLink]:
+        return [link for link in self.links.values() if link.trunk]
+
+    # -- routing ------------------------------------------------------------------
+
+    def equal_cost_paths(self, src: str,
+                         dst: str) -> List[Tuple[FabricLink, ...]]:
+        """Every shortest path from ``src`` to ``dst``, in stable order.
+
+        BFS layering followed by a deterministic depth-first expansion
+        over predecessor lists, so the enumeration order depends only
+        on graph construction order — never on hashing or set order.
+        """
+        if src not in self.nodes or dst not in self.nodes:
+            missing = src if src not in self.nodes else dst
+            raise FabricError(f"no fabric node named {missing!r}")
+        if src == dst:
+            return []
+        # BFS from src recording each node's shortest-path predecessors.
+        depth: Dict[str, int] = {src: 0}
+        preds: Dict[str, List[str]] = {}
+        frontier = deque([src])
+        while frontier:
+            here = frontier.popleft()
+            if here == dst:
+                continue
+            for neighbour in self._adjacency[here]:
+                if neighbour not in depth:
+                    depth[neighbour] = depth[here] + 1
+                    preds[neighbour] = [here]
+                    frontier.append(neighbour)
+                elif depth[neighbour] == depth[here] + 1:
+                    preds[neighbour].append(here)
+        if dst not in depth:
+            raise FabricError(f"no fabric path from {src!r} to {dst!r}")
+        # Expand predecessor DAG into explicit paths (stable order).
+        paths: List[Tuple[FabricLink, ...]] = []
+
+        def expand(node: str, suffix: List[FabricLink]) -> None:
+            if node == src:
+                paths.append(tuple(reversed(suffix)))
+                return
+            for pred in preds[node]:
+                expand(pred, suffix + [self.links[(pred, node)]])
+
+        expand(dst, [])
+        return paths
+
+    def route(self, src: str, dst: str) -> Tuple[FabricLink, ...]:
+        """The deterministic ECMP path for the (src, dst) host pair.
+
+        All equal-cost shortest paths are enumerated once; the flow's
+        path index is ``crc32(src|dst) % count`` — stable across runs
+        and across Python processes (no ``hash()`` randomization).
+        """
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        paths = self.equal_cost_paths(src, dst)
+        if not paths:
+            chosen: Tuple[FabricLink, ...] = ()
+        else:
+            index = zlib.crc32(f"{src}|{dst}".encode()) % len(paths)
+            chosen = paths[index]
+        self._route_cache[key] = chosen
+        return chosen
+
+    def path_latency(self, src: str, dst: str) -> Optional[float]:
+        """Summed hop latency of the routed path, or None when the pair
+        has no fabric path (same host, or hosts this fabric ignores)."""
+        if src == dst or src not in self.nodes or dst not in self.nodes:
+            return None
+        links = self.route(src, dst)
+        if not links:
+            return None
+        return sum(link.latency for link in links)
+
+    # -- transfer timing ------------------------------------------------------------
+
+    def traverse(self, src: str, dst: str, start: float, egress_end: float,
+                 size: int) -> Optional[PathTiming]:
+        """Charge one transfer's passage from src NIC egress to dst ingress.
+
+        ``start``/``egress_end`` are the sender NIC's egress booking
+        (first/last byte leaving the host).  Returns None when the pair
+        has no fabric path to charge (same host, or hosts this fabric
+        does not know), in which case the caller keeps the flat-topology
+        timing.  Trunk links book real capacity; access links contribute
+        latency only (their capacity *is* the NIC pipe).
+        """
+        if src == dst or src not in self.nodes or dst not in self.nodes:
+            return None
+        links = self.route(src, dst)
+        if not links:
+            return None
+        total_latency = 0.0
+        queueing = 0.0
+        first = start
+        ready = egress_end
+        for link in links:
+            link.bytes_carried += size
+            link.transfers += 1
+            if link.trunk:
+                booked_start, booked_end = link.pipe.reserve(first, size)
+                waited = booked_start - first
+                if waited > 0:
+                    queueing += waited
+                    link.queue_seconds += waited
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            "link_queue", f"{size}B queued", "fabric",
+                            f"link:{link.name}", first, booked_start,
+                            args={"src": src, "dst": dst, "nbytes": size})
+                first = booked_start + link.latency
+                ready = max(booked_end, ready) + link.latency
+            else:
+                first += link.latency
+                ready += link.latency
+            total_latency += link.latency
+        return PathTiming(first_bit=first, last_byte=ready,
+                          latency=total_latency, queueing=queueing)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def link_stats(self, horizon: Optional[float] = None) -> Dict[str, Dict]:
+        """Per-trunk-link counters (bytes, queueing, utilization)."""
+        out: Dict[str, Dict] = {}
+        for link in self.trunk_links():
+            stats = {
+                "bytes_carried": link.bytes_carried,
+                "transfers": link.transfers,
+                "queue_seconds": link.queue_seconds,
+                "busy_seconds": link.busy_seconds(),
+            }
+            if horizon is not None:
+                stats["utilization"] = link.utilization(horizon)
+            out[link.name] = stats
+        return out
+
+    def __repr__(self) -> str:
+        kinds = {kind: sum(1 for n in self.nodes.values() if n.kind == kind)
+                 for kind in NODE_KINDS}
+        return (f"Fabric({kinds['host']} hosts, {kinds['tor']} ToRs, "
+                f"{kinds['spine']} spines, {len(self.links)} links)")
+
+
+def rack_of(host_index: int, hosts_per_rack: int) -> int:
+    """Rack index of the ``host_index``-th host (fill racks in order)."""
+    if hosts_per_rack < 1:
+        raise FabricError("hosts_per_rack must be at least 1")
+    return host_index // hosts_per_rack
+
+
+def rack_groups(num_hosts: int, hosts_per_rack: int) -> List[List[int]]:
+    """Host indices grouped by rack, e.g. ``[[0,1],[2,3]]``."""
+    if num_hosts < 1:
+        raise FabricError("need at least one host")
+    groups: List[List[int]] = []
+    for i in range(num_hosts):
+        rack = rack_of(i, hosts_per_rack)
+        if rack == len(groups):
+            groups.append([])
+        groups[rack].append(i)
+    return groups
+
+
+def build_fat_tree(num_hosts: int, hosts_per_rack: int,
+                   oversubscription: float = 1.0,
+                   num_spines: Optional[int] = None,
+                   cost: Optional[CostModel] = None,
+                   name_prefix: str = "server") -> Fabric:
+    """A two-tier leaf/spine fabric (the folded-Clos "fat tree").
+
+    Every host gets a full-rate access link to its rack's ToR; each ToR
+    connects to every spine.  The rack's aggregate uplink capacity is
+    ``hosts_per_rack * host_bandwidth / oversubscription``, split
+    evenly across the spines — so ``oversubscription=4`` means four
+    hosts' worth of traffic contend for one host's worth of uplink, the
+    classic cost-reduced datacenter shape.  Hop latencies split the
+    cost model's one-way ``rdma_base_latency`` in half per hop, so an
+    intra-rack transfer (2 hops) costs exactly the flat topology's
+    latency and an inter-rack one (4 hops) costs twice that.
+    """
+    cost = cost or DEFAULT_COST_MODEL
+    if num_hosts < 1:
+        raise FabricError("need at least one host")
+    if hosts_per_rack < 1:
+        raise FabricError("hosts_per_rack must be at least 1")
+    if oversubscription < 1.0:
+        raise FabricError(f"oversubscription must be >= 1, "
+                          f"got {oversubscription}")
+    num_racks = (num_hosts + hosts_per_rack - 1) // hosts_per_rack
+    if num_spines is None:
+        num_spines = max(1, min(4, num_racks // 2)) if num_racks > 1 else 1
+    if num_spines < 1:
+        raise FabricError("need at least one spine")
+
+    fabric = Fabric(cost=cost)
+    host_bw = cost.rdma_bandwidth
+    hop_latency = cost.rdma_base_latency / 2.0
+    uplink_bw = hosts_per_rack * host_bw / (oversubscription * num_spines)
+
+    for s in range(num_spines):
+        fabric.add_node(f"spine{s}", "spine")
+    for r in range(num_racks):
+        tor = f"tor{r}"
+        fabric.add_node(tor, "tor")
+        for s in range(num_spines):
+            fabric.add_duplex(tor, f"spine{s}", uplink_bw, hop_latency)
+    for i in range(num_hosts):
+        host = f"{name_prefix}{i}"
+        fabric.add_node(host, "host")
+        fabric.add_duplex(host, f"tor{rack_of(i, hosts_per_rack)}",
+                          host_bw, hop_latency)
+    return fabric

@@ -17,6 +17,7 @@ of registered regions.
 
 from __future__ import annotations
 
+import bisect
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -78,6 +79,11 @@ class DenseBacking(Backing):
         # it only models that the DMA engine touched the range.
         self._check(offset, length)
 
+    def read_byte(self, offset: int) -> int:
+        # Flag pollers call this every sweep; skip the slice+tobytes.
+        self._check(offset, 1)
+        return int(self.array[offset])
+
     def view(self, offset: int, length: int) -> np.ndarray:
         """A zero-copy numpy view of the backing range."""
         self._check(offset, length)
@@ -123,6 +129,10 @@ class VirtualBacking(Backing):
         self._check(offset, length)
         self.bytes_written += length
 
+    def read_byte(self, offset: int) -> int:
+        self._check(offset, 1)
+        return self._sparse.get(offset, 0)
+
 
 @dataclass
 class Buffer:
@@ -166,6 +176,7 @@ class AddressSpace:
         base_index = next(self._host_counter)
         self._next_addr = base_index << 44  # 16 TiB apart per host
         self._buffers: List[Buffer] = []    # sorted by addr
+        self._addrs: List[int] = []         # parallel sorted start addresses
 
     def allocate(self, size: int, label: str = "",
                  dense: Optional[bool] = None) -> Buffer:
@@ -179,20 +190,26 @@ class AddressSpace:
                      host_name=self.host_name, label=label)
         # Align the next allocation to 64 bytes, like a cache-line allocator.
         self._next_addr += (size + 63) & ~63
-        self._buffers.append(buf)
+        self._buffers.append(buf)  # bump allocation => appends stay sorted
+        self._addrs.append(buf.addr)
         return buf
 
     def free(self, buf: Buffer) -> None:
         """Release a buffer (bump allocator: bookkeeping only)."""
-        try:
-            self._buffers.remove(buf)
-        except ValueError:
+        index = bisect.bisect_right(self._addrs, buf.addr) - 1
+        if index < 0 or self._buffers[index] is not buf:
             raise MemoryError_(f"double free or foreign buffer at {buf.addr:#x}")
+        del self._buffers[index]
+        del self._addrs[index]
 
     def resolve(self, addr: int, length: int = 1) -> Tuple[Buffer, int]:
         """Map a virtual address range to (buffer, offset) or fault."""
-        for buf in self._buffers:
-            if buf.addr <= addr and addr + length <= buf.end:
+        # Buffers never overlap and stay address-sorted, so the only
+        # candidate is the last buffer starting at or below ``addr``.
+        index = bisect.bisect_right(self._addrs, addr) - 1
+        if index >= 0:
+            buf = self._buffers[index]
+            if addr + length <= buf.end:
                 return buf, addr - buf.addr
         raise MemoryError_(
             f"address [{addr:#x}, +{length}) unmapped on host {self.host_name!r}")

@@ -573,6 +573,29 @@ class RdmaNic:
                                         start, end, head, tail,
                                         wake_host=wake_host)
 
+    def _fabric_traverse(self, dst_nic: "RdmaNic", start: float,
+                         egress_end: float, size: int):
+        """Charge the cluster fabric (if any) for a transfer leaving this
+        NIC for ``dst_nic``.  Returns the :class:`PathTiming`, or None
+        when no fabric is installed or the pair has no path to charge —
+        in which case the caller keeps the flat-topology timing, making
+        fabric-less clusters bit-identical to pre-fabric builds."""
+        fabric = self.host.cluster.fabric
+        if fabric is None:
+            return None
+        return fabric.traverse(self.host.name, dst_nic.host.name,
+                               start, egress_end, size)
+
+    def _fabric_latency(self, dst_nic: "RdmaNic") -> float:
+        """One-way first-bit latency towards ``dst_nic``: the fabric
+        path's summed hop latency, or the flat model's base latency."""
+        fabric = self.host.cluster.fabric
+        if fabric is not None:
+            latency = fabric.path_latency(self.host.name, dst_nic.host.name)
+            if latency is not None:
+                return latency
+        return self.cost.rdma_base_latency
+
     def _execute_write(self, qp: QueuePair, wr: WorkRequest) -> None:
         proceed, verdict = self._fault_gate(qp, wr)
         if not proceed:
@@ -598,9 +621,14 @@ class RdmaNic:
                      qp._egress_free)
         start, egress_end = self.egress.reserve(depart, wr.size)
         qp._egress_free = egress_end
-        data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
-        end = remote_nic.ingress.reserve_after(
-            start + self.cost.rdma_base_latency, wr.size, data_ready)
+        path = self._fabric_traverse(remote_nic, start, egress_end, wr.size)
+        if path is None:
+            data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
+            end = remote_nic.ingress.reserve_after(
+                start + self.cost.rdma_base_latency, wr.size, data_ready)
+        else:
+            end = remote_nic.ingress.reserve_after(
+                path.first_bit, wr.size, path.last_byte)
         # Per-QP ordering: a later verb never lands before an earlier one.
         end = max(end, qp._last_arrival)
         qp._last_arrival = end
@@ -639,7 +667,7 @@ class RdmaNic:
         (``egress end + propagation``).
         """
         posted = self.sim.now
-        latency = self.cost.rdma_base_latency
+        latency = self._fabric_latency(remote_nic)
         extra = verdict.delay if verdict is not None else 0.0
         depart = posted + self.cost.rdma_verb_overhead + extra
         eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
@@ -655,6 +683,12 @@ class RdmaNic:
             if not (eb.done and ib.done):
                 return
             end = max(ib.end, eb.end + latency)
+            # Trunk capacity is charged once the egress booking is known;
+            # uplink queueing pushes the last byte's landing time.
+            path = self._fabric_traverse(remote_nic, eb.first_start, eb.end,
+                                         wr.size)
+            if path is not None:
+                end = max(end, path.last_byte)
             self._faulted_commit(verdict, dest_buf.backing, dest_off,
                                  wr.size, payload, eb.first_start, end,
                                  head, tail, wake_host=remote_nic.host)
@@ -703,10 +737,17 @@ class RdmaNic:
         request_arrives = (max(self.sim.now + self.cost.rdma_verb_overhead
                                + extra, qp._egress_free)
                            + self.cost.rdma_read_extra_rtt)
-        start, _ = remote_nic.egress.reserve(request_arrives, wr.size)
-        data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
-        end = self.ingress.reserve_after(
-            start + self.cost.rdma_base_latency, wr.size, data_ready)
+        start, src_egress_end = remote_nic.egress.reserve(request_arrives,
+                                                          wr.size)
+        path = remote_nic._fabric_traverse(self, start, src_egress_end,
+                                           wr.size)
+        if path is None:
+            data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
+            end = self.ingress.reserve_after(
+                start + self.cost.rdma_base_latency, wr.size, data_ready)
+        else:
+            end = self.ingress.reserve_after(
+                path.first_bit, wr.size, path.last_byte)
         end = max(end, qp._last_arrival)
         qp._last_arrival = end
 
@@ -740,7 +781,7 @@ class RdmaNic:
         not occupy the local egress either.
         """
         posted = self.sim.now
-        latency = self.cost.rdma_base_latency
+        latency = remote_nic._fabric_latency(self)
         extra = verdict.delay if verdict is not None else 0.0
         request_arrives = (posted + self.cost.rdma_verb_overhead + extra
                            + self.cost.rdma_read_extra_rtt)
@@ -757,6 +798,10 @@ class RdmaNic:
             if not (reb.done and ib.done):
                 return
             end = max(ib.end, reb.end + latency)
+            path = remote_nic._fabric_traverse(self, reb.first_start,
+                                               reb.end, wr.size)
+            if path is not None:
+                end = max(end, path.last_byte)
             self._faulted_commit(verdict, dest_buf.backing, dest_off,
                                  wr.size, payload, reb.first_start, end,
                                  head, tail, wake_host=self.host)
@@ -796,9 +841,15 @@ class RdmaNic:
                      qp._egress_free)
         start, egress_end = self.egress.reserve(depart, wr.size)
         qp._egress_free = egress_end
-        data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
-        arrival = remote_qp.nic.ingress.reserve_after(
-            start + self.cost.rdma_base_latency, wr.size, data_ready)
+        path = self._fabric_traverse(remote_qp.nic, start, egress_end,
+                                     wr.size)
+        if path is None:
+            data_ready = start + self.cost.rdma_base_latency + wr.size / self.cost.rdma_bandwidth
+            arrival = remote_qp.nic.ingress.reserve_after(
+                start + self.cost.rdma_base_latency, wr.size, data_ready)
+        else:
+            arrival = remote_qp.nic.ingress.reserve_after(
+                path.first_bit, wr.size, path.last_byte)
         arrival = max(arrival, qp._last_arrival)
         qp._last_arrival = arrival
 
@@ -830,7 +881,7 @@ class RdmaNic:
         """SEND under the priority quantum scheduler."""
         remote_nic = remote_qp.nic
         posted = self.sim.now
-        latency = self.cost.rdma_base_latency
+        latency = self._fabric_latency(remote_nic)
         extra = verdict.delay if verdict is not None else 0.0
         depart = posted + self.cost.rdma_verb_overhead + extra
         eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
@@ -847,6 +898,10 @@ class RdmaNic:
             if not (eb.done and ib.done):
                 return
             arrival = max(ib.end, eb.end + latency)
+            path = self._fabric_traverse(remote_nic, eb.first_start, eb.end,
+                                         wr.size)
+            if path is not None:
+                arrival = max(arrival, path.last_byte)
             self._record(Opcode.SEND, self.host, remote_nic.host, wr.size,
                          eb.first_start, arrival, role=wr.role)
             status = WcStatus.SUCCESS if verdict is None else verdict.status

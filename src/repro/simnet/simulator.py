@@ -120,13 +120,15 @@ class Process(Event):
     ``result = yield sim.spawn(child())``
     """
 
-    __slots__ = ("generator", "name", "_target")
+    __slots__ = ("generator", "name", "_target", "_wait_token")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: invalidates in-flight plain-delay wake-ups on interrupt
+        self._wait_token = 0
         # Bootstrap: resume the generator at the current time.
         sim.call_at(sim.now, lambda: self._resume(None, None))
 
@@ -138,6 +140,7 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at its yield point."""
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
+        self._wait_token += 1  # cancel any pending plain-delay wake-up
         target = self._target
         if target is not None and not target._triggered:
             # Detach from the event we were waiting on.
@@ -174,6 +177,26 @@ class Process(Event):
             self.fail(exc)
             return
         if not isinstance(target, Event):
+            # Fast path: a bare non-negative number is a plain timeout.
+            # Semantically identical to ``yield sim.timeout(delay)`` —
+            # the wake-up lands at the same (time, seq) heap position a
+            # Timeout created here would get — but skips allocating the
+            # Event and its callback list (the hottest allocation in
+            # large-cluster sweeps).
+            if type(target) is float or type(target) is int:
+                if target >= 0:
+                    self._wait_token = token = self._wait_token + 1
+                    sim = self.sim
+                    sim._seq += 1
+                    heapq.heappush(
+                        sim._queue,
+                        (sim._now + target, sim._seq, None,
+                         lambda: self._delay_wake(token)))
+                    return
+                self.generator.close()
+                self.fail(SimulationError(
+                    f"process {self.name!r} yielded negative delay {target!r}"))
+                return
             self.generator.close()
             self.fail(SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"))
@@ -184,6 +207,11 @@ class Process(Event):
             return
         self._target = target
         target.add_callback(self._on_event)
+
+    def _delay_wake(self, token: int) -> None:
+        """Resume after a plain-delay yield, unless interrupted since."""
+        if token == self._wait_token and not self._triggered:
+            self._resume(None, None)
 
 
 class Interrupt(Exception):

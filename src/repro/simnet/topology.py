@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 from ..observability.tracer import Tracer
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .cpu import CpuEngine
+from .fabric import Fabric
 from .faults import FaultInjector
 from .metrics import MetricsCollector
 from .memory import AddressSpace, Buffer
@@ -73,11 +74,24 @@ class Cluster:
     """A set of simulated hosts sharing one event loop and cost model."""
 
     def __init__(self, num_hosts: int, cost: Optional[CostModel] = None,
-                 name_prefix: str = "server") -> None:
+                 name_prefix: str = "server",
+                 fabric: Optional[Fabric] = None) -> None:
         if num_hosts < 1:
             raise ValueError("cluster needs at least one host")
         self.sim = Simulator()
         self.cost = cost or DEFAULT_COST_MODEL
+        #: explicit fabric graph (multi-rack topologies); None keeps the
+        #: flat full-bisection model where the NIC pipes are the only
+        #: contention points — and keeps its timing bit-identical
+        self.fabric = fabric
+        if fabric is not None:
+            known = set(fabric.hosts())
+            missing = [f"{name_prefix}{i}" for i in range(num_hosts)
+                       if f"{name_prefix}{i}" not in known]
+            if missing:
+                raise ValueError(
+                    f"fabric is missing host nodes for {missing[:4]}"
+                    + ("..." if len(missing) > 4 else ""))
         self.hosts: List[Host] = [
             Host(self, f"{name_prefix}{i}") for i in range(num_hosts)]
         self._by_name: Dict[str, Host] = {h.name: h for h in self.hosts}
@@ -104,6 +118,9 @@ class Cluster:
         """Record timestamped spans (see :mod:`repro.observability`)."""
         if self.tracer is None:
             self.tracer = Tracer()
+        if self.fabric is not None:
+            # Uplink queueing becomes link_queue spans for stall reports.
+            self.fabric.tracer = self.tracer
         return self.tracer
 
     def install_faults(self, injector: FaultInjector) -> FaultInjector:

@@ -128,9 +128,12 @@ class TestScheduleConstruction:
 class TestRunnerStrategies:
     @pytest.mark.parametrize("strategy", ALLREDUCE_ALGORITHMS)
     def test_runs_and_reports_wire_bytes(self, fcn5, strategy):
+        # hierarchical needs a rack shape; 1-wide racks degenerate to a
+        # flat inter-rack exchange with the same wire volume as ring.
+        extra = {"hosts_per_rack": 1} if strategy == "hierarchical" else {}
         result = run_training_benchmark(
             fcn5, "RDMA", num_servers=2, batch_size=8, iterations=3,
-            strategy=strategy, collect_metrics=True)
+            strategy=strategy, collect_metrics=True, **extra)
         assert not result.crashed
         assert result.strategy == strategy
         assert result.step_time > 0
@@ -165,7 +168,8 @@ class TestRunnerStrategies:
                                    batch_size=8, strategy="gossip")
 
     def test_strategies_tuple(self):
-        assert STRATEGIES == ("ps", "ring", "halving-doubling")
+        assert STRATEGIES == ("ps", "ring", "halving-doubling",
+                              "hierarchical")
 
 
 class TestCommConfig:

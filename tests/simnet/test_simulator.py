@@ -191,13 +191,83 @@ class TestProcesses:
 
     def test_yield_non_event_fails_process(self, sim):
         def bad():
-            yield 42
+            yield "not an event"
 
         proc = sim.spawn(bad())
         sim.run()
         assert proc.triggered
         with pytest.raises(SimulationError):
             _ = proc.value
+
+    def test_yield_bare_delay_is_a_timeout(self, sim):
+        """``yield 1.5`` is the allocation-free form of ``yield sim.timeout(1.5)``."""
+        out = []
+
+        def proc():
+            yield 1.5
+            out.append(sim.now)
+            yield 2       # ints work too
+            out.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert out == [1.5, 3.5]
+
+    def test_yield_negative_delay_fails_process(self, sim):
+        def bad():
+            yield -1.0
+
+        proc = sim.spawn(bad())
+        sim.run()
+        assert proc.triggered
+        with pytest.raises(SimulationError):
+            _ = proc.value
+
+    def test_bare_delay_interleaves_like_timeout(self, sim):
+        """Bare delays land at the same (time, seq) slot a Timeout would."""
+        order = []
+
+        def a():
+            yield 1.0
+            order.append("a")
+
+        def b():
+            yield sim.timeout(1.0)
+            order.append("b")
+
+        sim.spawn(a())
+        sim.spawn(b())
+        sim.run()
+        # a was spawned (and thus resumed and re-scheduled) first.
+        assert order == ["a", "b"]
+
+    def test_same_timestamp_fifo_across_scheduling_paths(self, sim):
+        """The seq tie-break totally orders same-time work by the
+        moment it was *scheduled*, regardless of entry point.  The
+        call_at/call_after callbacks book their t=1.0 slot at spawn
+        time; the processes book theirs only when their t=0 resume
+        yields — so the callbacks run first, then the process wakes
+        in spawn order, with bare delays and Timeout objects
+        indistinguishable."""
+        order = []
+
+        def bare(tag):
+            yield 1.0
+            order.append(tag)
+
+        def timed(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        sim.spawn(bare("bare0"))
+        sim.spawn(timed("timeout0"))
+        sim.call_at(1.0, lambda: order.append("call_at0"))
+        sim.spawn(bare("bare1"))
+        sim.call_after(1.0, lambda: order.append("call_after0"))
+        sim.spawn(timed("timeout1"))
+        sim.run()
+        assert order == ["call_at0", "call_after0",
+                         "bare0", "timeout0", "bare1", "timeout1"]
 
     def test_exception_in_process_propagates_to_waiter(self, sim):
         def child():
