@@ -18,16 +18,18 @@ the hierarchical collective is shaped around.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.rdma_comm import RdmaCommRuntime
 from ..core.recovery import RetryPolicy
 from ..graph.session import RunStats, Session
 from ..simnet.faults import FaultInjector
+from ..observability.anomaly import Incident, detect_run_anomalies
 from ..observability.capture import capture_enabled, capture_run
 from ..observability.registry import Histogram
 from ..observability.stall import StallReport, build_stall_report
-from ..observability.tracer import Tracer
+from ..observability.timeseries import Telemetry
+from ..observability.tracer import TraceBudget, Tracer
 from ..graph.transfer_api import CommRuntime, NullComm
 from ..models.spec import ModelSpec
 from ..simnet.costmodel import (DEFAULT_COST_MODEL,
@@ -47,6 +49,33 @@ MECHANISMS = ("gRPC.TCP", "gRPC.RDMA", "RDMA", "RDMA.cp", "RDMA.gpu",
 STRATEGIES = ("ps", "ring", "halving-doubling", "hierarchical")
 
 TOPOLOGIES = ("flat", "fat-tree")
+
+
+def resolve_trace_hosts(spec: str, num_servers: int,
+                        name_prefix: str = "server") -> frozenset:
+    """Expand a ``--trace-hosts`` spec into a host-name set.
+
+    Two forms: an integer ``N`` keeps the first N hosts
+    (``server0..serverN-1``), and a comma-separated list keeps exactly
+    the named hosts.  Raises ``ValueError`` for an empty spec or a
+    prefix count outside [1, num_servers].
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("trace_hosts cannot be empty")
+    try:
+        count = int(spec)
+    except ValueError:
+        names = [name.strip() for name in spec.split(",")]
+        if any(not name for name in names):
+            raise ValueError(f"malformed trace_hosts list {spec!r}")
+        return frozenset(names)
+    if count < 1:
+        raise ValueError("trace_hosts prefix count must be positive")
+    if count > num_servers:
+        raise ValueError(f"trace_hosts prefix count {count} exceeds "
+                         f"{num_servers} servers")
+    return frozenset(f"{name_prefix}{i}" for i in range(count))
 
 
 @dataclass(frozen=True)
@@ -97,6 +126,35 @@ class CommConfig:
     #: collective algorithm used where an experiment asks for the
     #: configured default (``--collective``)
     collective: str = "hierarchical"
+    #: span-retention sampling rate for traced runs (``--trace-sample``);
+    #: None keeps every span (the historical unbudgeted tracer)
+    trace_sample: Optional[float] = None
+    #: host subset whose spans are retained (``--trace-hosts``): either
+    #: a comma-separated name list or an integer prefix count; None
+    #: keeps every host
+    trace_hosts: Optional[str] = None
+
+    def trace_budget(self, num_servers: int,
+                     name_prefix: str = "server") -> Optional[TraceBudget]:
+        """The retention budget implied by the trace knobs (None = keep all).
+
+        Breakdown accounting is never budgeted — the sum-to-step-time
+        invariant holds on every host — so these knobs only thin the
+        span list behind trace export.  The ``iteration`` category is
+        exempt from sampling: it is one span per step and anchors the
+        timeline.
+        """
+        if self.trace_sample is None and self.trace_hosts is None:
+            return None
+        hosts = None
+        if self.trace_hosts is not None:
+            hosts = resolve_trace_hosts(self.trace_hosts, num_servers,
+                                        name_prefix=name_prefix)
+        return TraceBudget(default_rate=(self.trace_sample
+                                         if self.trace_sample is not None
+                                         else 1.0),
+                           sample_rates={"iteration": 1.0},
+                           hosts=hosts)
 
     def rack_width(self, num_servers: int) -> Optional[int]:
         """Resolve the rack width for ``num_servers`` workers.
@@ -152,7 +210,9 @@ def configure_comm(num_cqs: Optional[int] = None,
                    racks: Optional[int] = None,
                    hosts_per_rack: Optional[int] = None,
                    oversubscription: Optional[float] = None,
-                   collective: Optional[str] = None) -> CommConfig:
+                   collective: Optional[str] = None,
+                   trace_sample: Optional[float] = None,
+                   trace_hosts: Optional[str] = None) -> CommConfig:
     """Override selected comm-runtime knobs; returns the new config."""
     global _COMM_CONFIG
     changes = {}
@@ -221,6 +281,16 @@ def configure_comm(num_cqs: Optional[int] = None,
             raise ValueError(f"unknown collective {collective!r}; "
                              f"have {ALLREDUCE_ALGORITHMS}")
         changes["collective"] = collective
+    if trace_sample is not None:
+        if not 0.0 < trace_sample <= 1.0:
+            raise ValueError(f"trace_sample must be in (0, 1], "
+                             f"got {trace_sample}")
+        changes["trace_sample"] = trace_sample
+    if trace_hosts is not None:
+        # Validate the spec's shape eagerly (prefix-count bounds are
+        # checked against num_servers at run time).
+        resolve_trace_hosts(trace_hosts, num_servers=1 << 30)
+        changes["trace_hosts"] = trace_hosts
     _COMM_CONFIG = replace(_COMM_CONFIG, **changes)
     return _COMM_CONFIG
 
@@ -229,6 +299,19 @@ def reset_comm_config() -> None:
     """Restore the built-in comm-runtime defaults."""
     global _COMM_CONFIG
     _COMM_CONFIG = CommConfig()
+
+
+def swap_comm_config(config: CommConfig) -> CommConfig:
+    """Install a full config, returning the previous one.
+
+    For experiments/tests that need a scoped override-and-restore —
+    ``configure_comm`` can only merge non-None changes, so it cannot
+    return a field to its unset state.
+    """
+    global _COMM_CONFIG
+    previous = _COMM_CONFIG
+    _COMM_CONFIG = config
+    return previous
 
 
 def make_mechanism(name: str) -> CommRuntime:
@@ -294,6 +377,8 @@ class BenchmarkResult:
     sim_horizon: float = 0.0
     #: simulator events processed by the run (engine-load figure)
     sim_events: int = 0
+    #: anomaly-detector output for the run (traced runs only)
+    incidents: List[Incident] = field(default_factory=list)
 
     def link_stats(self) -> Dict[str, Dict]:
         """Per-trunk-link bytes/queueing/utilization (empty when flat)."""
@@ -475,7 +560,15 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
     tracing = collect_trace or capture_enabled()
     collector = (cluster.enable_metrics()
                  if collect_metrics or tracing else None)
-    tracer = cluster.enable_tracing() if tracing else None
+    tracer = None
+    if tracing:
+        # The telemetry digest sees every span before any sampling, so
+        # anomaly detection is independent of the retention budget.
+        tracer = cluster.enable_tracing(
+            budget=(None if local
+                    else _COMM_CONFIG.trace_budget(num_servers)),
+            telemetry=Telemetry(
+                hosts_per_rack=rack_width or max(num_servers, 1)))
     device_hosts = {}
     for device in job.devices:
         if device == "local0":
@@ -502,16 +595,22 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                                worker_hosts=worker_hosts, fabric=fabric,
                                sim_horizon=cluster.sim.now,
                                sim_events=cluster.sim.event_count)
+    link_utilization: Dict[str, float] = {}
     if tracer is not None and fabric is not None:
         # Per-trunk-link gauges: steady utilization + queueing seconds.
         horizon = cluster.sim.now
         for link_name, stats_ in fabric.link_stats(horizon).items():
+            link_utilization[link_name] = stats_["utilization"]
             tracer.metrics.gauge(
                 f"link_utilization:{link_name}").set(stats_["utilization"])
             tracer.metrics.gauge(
                 f"link_queue_seconds:{link_name}").set(
                     stats_["queue_seconds"])
+    incidents: List[Incident] = []
     if tracer is not None:
+        incidents = detect_run_anomalies(tracer,
+                                         link_utilization=link_utilization,
+                                         now=cluster.sim.now)
         capture_run(
             label=(f"{spec.name}/{mechanism}/{strategy}/"
                    f"n{num_servers}/b{batch_size}"),
@@ -519,7 +618,8 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
             meta={"model": spec.name, "mechanism": mechanism,
                   "strategy": strategy, "num_servers": num_servers,
                   "batch_size": batch_size, "iterations": iterations,
-                  "step_time": stats.steady_state_time})
+                  "step_time": stats.steady_state_time},
+            incidents=[incident.to_dict() for incident in incidents])
     return BenchmarkResult(model=spec.name, mechanism=mechanism,
                            num_servers=num_servers, batch_size=batch_size,
                            stats=stats, strategy=strategy,
@@ -527,4 +627,5 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            metrics=collector, tracer=tracer,
                            worker_hosts=worker_hosts, fabric=fabric,
                            sim_horizon=cluster.sim.now,
-                           sim_events=cluster.sim.event_count)
+                           sim_events=cluster.sim.event_count,
+                           incidents=incidents)

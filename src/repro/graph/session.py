@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..observability.tracer import executor_track
 from ..simnet.simulator import SimulationError
 from ..simnet.topology import Cluster, Host
 from .executor import Executor, ExecutorError
@@ -129,6 +130,7 @@ class Session:
             if self.cluster.tracer is not None:
                 self.cluster.tracer.mark_iteration(iteration, start,
                                                    self.sim.now)
+                self._sample_telemetry(iteration, start, self.sim.now)
         stats.total_time = self.sim.now - start_total
         if self.cluster.tracer is not None:
             stats.observability = self.cluster.tracer.metrics.to_dict()
@@ -138,6 +140,33 @@ class Session:
             stats.faults = {"injected": plane.snapshot(),
                             "recovery": recovery()}
         return stats
+
+    def _sample_telemetry(self, iteration: int, start: float,
+                          end: float) -> None:
+        """Feed the per-iteration telemetry digest (O(hosts + links)).
+
+        Called once per iteration when tracing is on; each sample is a
+        single number per host / trunk link, so the streaming series
+        stay fixed-memory however long the run.  Pure bookkeeping —
+        never yields, so traced clocks stay bit-identical.
+        """
+        tracer = self.cluster.tracer
+        telemetry = tracer.telemetry
+        if telemetry is not None:
+            telemetry.observe("iteration_time", end, end - start)
+            for device, executor in self.executors.items():
+                track = executor_track(device)
+                bucket = tracer.breakdowns.get(
+                    (executor.host.name, track, iteration))
+                if bucket:
+                    telemetry.observe_host("step_time", executor.host.name,
+                                           end, sum(bucket.values()))
+        fabric = self.cluster.fabric
+        if fabric is not None and end > 0:
+            for link in fabric.trunk_links():
+                tracer.metrics.gauge(
+                    f"link_utilization:{link.name}").sample(
+                        end, link.utilization(end))
 
     def iteration_process(self, feeds: Optional[Dict[str, np.ndarray]] = None):
         """Spawn one iteration as an event without driving the simulator.

@@ -14,7 +14,7 @@ import sys
 import time
 
 from ..distributed.runner import (MECHANISMS, TOPOLOGIES, comm_config,
-                                  configure_comm)
+                                  configure_comm, resolve_trace_hosts)
 from ..distributed.allreduce import ALLREDUCE_ALGORITHMS
 from ..serving.config import configure_serving
 from ..observability.capture import (configure_capture, flush_capture,
@@ -105,6 +105,33 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="write per-run counters/histograms and the "
                              "stall-attribution report as JSON")
+    telemetry_group = parser.add_argument_group(
+        "telemetry", "fleet-scale telemetry: streaming series, incident "
+                     "logs, and span-retention budgets for traced runs")
+    telemetry_group.add_argument("--telemetry-out", default=None,
+                                 metavar="PATH",
+                                 help="write per-run streaming time-series "
+                                      "summaries (per-host/rack/fleet "
+                                      "rollups) plus the anomaly incident "
+                                      "log as JSON")
+    telemetry_group.add_argument("--trace-sample", type=float, default=None,
+                                 metavar="RATE",
+                                 help="retain this fraction of emitted "
+                                      "spans per category (deterministic "
+                                      "1-in-k); telemetry and stall "
+                                      "accounting always see every span")
+    telemetry_group.add_argument("--trace-hosts", default=None,
+                                 metavar="HOSTS",
+                                 help="retain spans only from these hosts: "
+                                      "a comma-separated name list or an "
+                                      "integer prefix count (e.g. '4' = "
+                                      "server0..server3)")
+    telemetry_group.add_argument("--trace-event-cap", type=int, default=None,
+                                 metavar="N",
+                                 help="cap span events in the merged Chrome "
+                                      "trace; overflow is counted in an "
+                                      "explicit truncation marker "
+                                      "(default 1000000)")
     serving_group = parser.add_argument_group(
         "serving", "knobs for the inference serving plane (the 'serving' "
                    "experiment)")
@@ -147,6 +174,30 @@ def main(argv=None) -> int:
         parser.error("--topology fat-tree needs a rack shape; give "
                      "--racks or --hosts-per-rack")
 
+    capturing = (args.trace_out is not None
+                 or args.metrics_json is not None
+                 or args.telemetry_out is not None)
+    if (args.trace_sample is not None or args.trace_hosts is not None) \
+            and not capturing:
+        parser.error("--trace-sample/--trace-hosts budget the spans of "
+                     "captured runs; add --trace-out, --metrics-json, or "
+                     "--telemetry-out")
+    if args.trace_event_cap is not None and args.trace_out is None:
+        parser.error("--trace-event-cap bounds the merged Chrome trace; "
+                     "add --trace-out")
+    if args.trace_sample is not None \
+            and not 0.0 < args.trace_sample <= 1.0:
+        parser.error(f"--trace-sample must be in (0, 1], got "
+                     f"{args.trace_sample}")
+    if args.trace_event_cap is not None and args.trace_event_cap < 1:
+        parser.error("--trace-event-cap must be positive")
+    if args.trace_hosts is not None:
+        try:
+            # Shape check only; prefix-count bounds depend on the run size.
+            resolve_trace_hosts(args.trace_hosts, num_servers=1 << 30)
+        except ValueError as exc:
+            parser.error(f"--trace-hosts: {exc}")
+
     fusion_bytes = (None if args.fusion_mb is None
                     else int(args.fusion_mb * 1024 * 1024))
     configure_comm(num_cqs=args.num_cqs,
@@ -164,16 +215,22 @@ def main(argv=None) -> int:
                    racks=args.racks,
                    hosts_per_rack=args.hosts_per_rack,
                    oversubscription=args.oversubscription,
-                   collective=args.collective)
+                   collective=args.collective,
+                   trace_sample=args.trace_sample,
+                   trace_hosts=args.trace_hosts)
     configure_serving(replicas=args.replicas,
                       qps=args.qps,
                       max_batch=args.max_batch,
                       batch_timeout=args.batch_timeout,
                       slo_ms=args.slo_ms)
-    capturing = args.trace_out is not None or args.metrics_json is not None
     if capturing:
+        from ..observability.capture import DEFAULT_TRACE_EVENT_CAP
         configure_capture(trace_out=args.trace_out,
-                          metrics_json=args.metrics_json)
+                          metrics_json=args.metrics_json,
+                          telemetry_out=args.telemetry_out,
+                          trace_event_cap=(args.trace_event_cap
+                                           if args.trace_event_cap is not None
+                                           else DEFAULT_TRACE_EVENT_CAP))
 
     try:
         if args.experiments:

@@ -10,6 +10,7 @@ suite; pass larger iteration counts / denser sweeps for a full run
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -767,6 +768,132 @@ def scale(worker_counts: Sequence[int] = (64,),
     return result
 
 
+def telemetry(model: str = "FCN-5", num_servers: int = 8,
+              hosts_per_rack: int = 4, batch_size: int = 32,
+              iterations: int = 3, trace_sample: float = 0.05,
+              straggler_host: str = "server5",
+              straggler_delay_ms: float = 2.0,
+              json_path: Optional[str] = None) -> ExperimentResult:
+    """Extension: fleet telemetry + online anomaly detection, validated.
+
+    Three runs of one fat-tree hierarchical configuration:
+
+    * **untraced** — the timing reference;
+    * **traced (clean)** — full telemetry with a ``trace_sample``
+      span-retention budget; must keep *bit-identical* iteration times
+      to the untraced run (tracing is retrospective bookkeeping and
+      never yields) while dropping most spans, and must raise **zero**
+      incidents at default thresholds;
+    * **traced + straggler** — the same run with a seeded straggler
+      fault on one host; the MAD detector must name exactly that host,
+      with the flight-recorder dump attached to the incident.
+
+    Pass ``json_path`` to dump the validation (CI commits this as
+    ``BENCH_telemetry.json``; the perf-regression gate appends its
+    verdict history to the same file's ``trajectory`` list).
+    """
+    from dataclasses import replace as _dc_replace
+
+    from ..distributed.runner import swap_comm_config
+
+    spec = get_model(model)
+    delay = straggler_delay_ms * 1e-3
+    fault = (f"straggler:host={straggler_host},p=1.0,delay={delay}")
+    common = dict(num_servers=num_servers, batch_size=batch_size,
+                  iterations=iterations, strategy="hierarchical",
+                  topology="fat-tree", hosts_per_rack=hosts_per_rack)
+    result = ExperimentResult(
+        experiment="Extension: telemetry",
+        title=(f"Fleet telemetry: {model}, {num_servers} workers in racks "
+               f"of {hosts_per_rack}, span sampling {trace_sample:g}"),
+        columns=["run", "step_ms", "spans_kept", "spans_dropped",
+                 "incidents", "detected"])
+    untraced = run_training_benchmark(spec, "RDMA", **common)
+    previous = swap_comm_config(
+        _dc_replace(comm_config(), trace_sample=trace_sample))
+    try:
+        clean = run_training_benchmark(spec, "RDMA", collect_trace=True,
+                                       **common)
+        faulted = run_training_benchmark(spec, "RDMA", collect_trace=True,
+                                         fault_spec=fault, fault_seed=1,
+                                         **common)
+    finally:
+        swap_comm_config(previous)
+    for run in (untraced, clean, faulted):
+        if run.crashed:
+            raise RuntimeError(f"telemetry run crashed: {run.crash_reason}")
+
+    identical = (clean.stats.iteration_times
+                 == untraced.stats.iteration_times)
+    detected = sorted({i.subject for i in faulted.incidents
+                       if i.kind == "straggler"})
+    straggler_found = detected == [straggler_host]
+    flight_attached = any(i.flight for i in faulted.incidents
+                          if i.subject == straggler_host)
+
+    result.add_row("untraced", round(untraced.step_time * 1e3, 3),
+                   None, None, None, None)
+    for label, run in (("traced-clean", clean),
+                       ("traced-straggler", faulted)):
+        result.add_row(label, round(run.step_time * 1e3, 3),
+                       len(run.tracer.spans), run.tracer.dropped_spans,
+                       len(run.incidents),
+                       ",".join(sorted({i.subject
+                                        for i in run.incidents})) or "-")
+    result.note(f"traced iteration clocks identical to untraced: "
+                f"{identical}")
+    result.note(f"clean run incidents: {len(clean.incidents)} (must be 0)")
+    result.note(f"straggler {straggler_host} detected: {straggler_found} "
+                f"(flight dump attached: {flight_attached})")
+    fleet = (clean.tracer.telemetry.sketches.get("verb_latency:fleet")
+             if clean.tracer.telemetry is not None else None)
+    if fleet is not None:
+        summary = fleet.to_dict()
+        result.note(f"fleet verb latency: mean "
+                    f"{summary['mean'] * 1e6:.1f} us, p99 "
+                    f"{summary.get('p99', 0.0) * 1e6:.1f} us over "
+                    f"{summary['count']} verbs")
+    if json_path is not None:
+        def _run_record(label: str, run: BenchmarkResult) -> Dict[str, object]:
+            record: Dict[str, object] = {
+                "run": label,
+                "step_ms": run.step_time * 1e3,
+                "iteration_times": list(run.stats.iteration_times),
+            }
+            if run.tracer is not None:
+                record["spans_kept"] = len(run.tracer.spans)
+                record["spans_dropped"] = run.tracer.dropped_spans
+                record["incidents"] = [i.to_dict() for i in run.incidents]
+            return record
+
+        payload = {
+            "experiment": "telemetry",
+            "config": {"model": model, "num_servers": num_servers,
+                       "hosts_per_rack": hosts_per_rack,
+                       "batch_size": batch_size, "iterations": iterations,
+                       "trace_sample": trace_sample,
+                       "straggler_host": straggler_host,
+                       "straggler_delay_ms": straggler_delay_ms},
+            "runs": [_run_record("untraced", untraced),
+                     _run_record("traced-clean", clean),
+                     _run_record("traced-straggler", faulted)],
+            "traced_untraced_identical": identical,
+            "fault_free_incidents": len(clean.incidents),
+            "straggler_detected": straggler_found,
+            "flight_dump_attached": flight_attached,
+            "trajectory": [],
+        }
+        if os.path.exists(json_path):
+            # Preserve the regression gate's verdict history.
+            with open(json_path) as fh:
+                old = json.load(fh)
+            payload["trajectory"] = old.get("trajectory", [])
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -782,6 +909,7 @@ ALL_EXPERIMENTS = {
     "chaos": chaos,
     "serving": serving,
     "scale": scale,
+    "telemetry": telemetry,
 }
 
 
@@ -808,5 +936,6 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
             "chaos": chaos(seeds=(0, 1)),
             "serving": serving(requests=300),
             "scale": scale(worker_counts=(32,), hosts_per_rack=8),
+            "telemetry": telemetry(iterations=2),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

@@ -1,0 +1,376 @@
+"""Perf-regression gate: fresh probe runs vs committed baselines.
+
+The simulator is deterministic — identical code and configuration
+reproduce simulated metrics bit-for-bit — so committed benchmark
+results double as regression baselines with *tight* tolerances: a 5%
+drift in a simulated step time is a behavior change, not noise.
+Wall-clock figures in the baselines (``wall_s``, ``events_per_s``)
+are machine-dependent and never gated.
+
+Three probes, each re-running a small, fixed slice of a committed
+benchmark's configuration and comparing per-metric:
+
+* ``overlap`` — barrier vs eager+priority step times for a model
+  subset of ``BENCH_overlap.json`` (and the "eager is faster" bit);
+* ``scale``   — the 64-worker hierarchical cell of
+  ``BENCH_scale.json``: step time, trunk-uplink traffic volume,
+  predicted wire bytes;
+* ``serving`` — the batched serving run of ``BENCH_serving.json``:
+  sustained throughput, p99 latency, completion count, and the
+  torn-serve invariant (exactly zero).
+
+Exit status is nonzero when any gated metric regresses beyond its
+tolerance, which is what lets CI fail the build.  ``--json`` dumps
+the full comparison; ``--trajectory`` appends a compact gate record
+to ``results/BENCH_telemetry.json`` so the telemetry file carries a
+history of gate verdicts alongside the telemetry seed.
+
+Usage::
+
+    python -m repro.harness.regress                    # all probes
+    python -m repro.harness.regress --probes scale
+    python -m repro.harness.regress --tolerance 0.08 --json gate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..models.zoo import get_model
+from ..simnet.costmodel import MB
+
+#: default relative tolerance for gated metrics
+DEFAULT_TOLERANCE = 0.05
+
+#: models the overlap probe re-runs (a subset keeps the gate fast;
+#: names must exist in the committed BENCH_overlap.json)
+DEFAULT_OVERLAP_MODELS = ("AlexNet", "FCN-5")
+
+#: how many gate records --trajectory keeps in BENCH_telemetry.json
+TRAJECTORY_KEEP = 20
+
+PROBES = ("overlap", "scale", "serving")
+
+
+@dataclass
+class Check:
+    """One gated metric: fresh value vs committed baseline."""
+
+    probe: str
+    metric: str
+    baseline: float
+    fresh: float
+    direction: str      # "lower_better" | "higher_better" | "match"
+    tolerance: float
+    #: filled by evaluate(): "ok" | "improved" | "regressed"
+    verdict: str = ""
+
+    def evaluate(self) -> str:
+        base, fresh = self.baseline, self.fresh
+        scale = max(abs(base), 1e-12)
+        delta = (fresh - base) / scale
+        if self.direction == "match":
+            self.verdict = "ok" if abs(delta) <= self.tolerance \
+                else "regressed"
+        elif self.direction == "lower_better":
+            if delta > self.tolerance:
+                self.verdict = "regressed"
+            elif delta < -self.tolerance:
+                self.verdict = "improved"
+            else:
+                self.verdict = "ok"
+        elif self.direction == "higher_better":
+            if delta < -self.tolerance:
+                self.verdict = "regressed"
+            elif delta > self.tolerance:
+                self.verdict = "improved"
+            else:
+                self.verdict = "ok"
+        else:
+            raise ValueError(f"unknown direction {self.direction!r}")
+        return self.verdict
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"probe": self.probe, "metric": self.metric,
+                "baseline": self.baseline, "fresh": self.fresh,
+                "direction": self.direction, "tolerance": self.tolerance,
+                "verdict": self.verdict}
+
+
+@dataclass
+class GateReport:
+    """Everything one gate invocation measured."""
+
+    checks: List[Check] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    def add(self, check: Check) -> None:
+        check.evaluate()
+        self.checks.append(check)
+
+    @property
+    def regressions(self) -> List[Check]:
+        return [c for c in self.checks if c.verdict == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"ok": self.ok,
+                "checks": [c.to_dict() for c in self.checks],
+                "regressions": len(self.regressions),
+                "errors": list(self.errors)}
+
+
+def _load_baseline(baseline_dir: str, name: str) -> Optional[Dict]:
+    path = os.path.join(baseline_dir, name)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# -- probes ----------------------------------------------------------------------------
+
+
+def probe_overlap(report: GateReport, baseline_dir: str, tolerance: float,
+                  models: Sequence[str] = DEFAULT_OVERLAP_MODELS) -> None:
+    """Re-run barrier vs eager+priority for a model subset."""
+    from ..distributed.runner import run_training_benchmark
+
+    baseline = _load_baseline(baseline_dir, "BENCH_overlap.json")
+    if baseline is None:
+        report.errors.append("overlap: no BENCH_overlap.json baseline")
+        return
+    config = baseline["config"]
+    by_model = {row["benchmark"]: row for row in baseline["models"]}
+    common = dict(num_servers=config["num_servers"],
+                  batch_size=config["batch_size"],
+                  iterations=config["iterations"],
+                  strategy=config["algorithm"],
+                  fusion_bytes=int(config["fusion_mb"] * MB))
+    for name in models:
+        base_row = by_model.get(name)
+        if base_row is None:
+            report.errors.append(f"overlap: model {name!r} not in baseline")
+            continue
+        spec = get_model(name)
+        barrier = run_training_benchmark(spec, "RDMA", eager_flush=False,
+                                         priority_sched=False, **common)
+        eager = run_training_benchmark(spec, "RDMA", eager_flush=True,
+                                       priority_sched=True, **common)
+        if barrier.crashed or eager.crashed:
+            report.errors.append(f"overlap: {name} crashed: "
+                                 f"{barrier.crash_reason or eager.crash_reason}")
+            continue
+        report.add(Check("overlap", f"{name}.barrier_step_ms",
+                         base_row["barrier_step_ms"],
+                         barrier.step_time * 1e3, "lower_better", tolerance))
+        report.add(Check("overlap", f"{name}.eager_priority_step_ms",
+                         base_row["eager_priority_step_ms"],
+                         eager.step_time * 1e3, "lower_better", tolerance))
+        if base_row["faster"] and not eager.step_time < barrier.step_time:
+            report.errors.append(
+                f"overlap: {name}: eager+priority no longer faster than "
+                f"barrier ({eager.step_time * 1e3:.3f} ms vs "
+                f"{barrier.step_time * 1e3:.3f} ms)")
+
+
+def probe_scale(report: GateReport, baseline_dir: str, tolerance: float,
+                workers: int = 64) -> None:
+    """Re-run one hierarchical cell of the fat-tree scale sweep."""
+    from ..distributed.runner import run_training_benchmark
+    from .experiments import _scale_spec
+
+    baseline = _load_baseline(baseline_dir, "BENCH_scale.json")
+    if baseline is None:
+        report.errors.append("scale: no BENCH_scale.json baseline")
+        return
+    config = baseline["config"]
+    entry = next((e for e in baseline["sweep"]
+                  if e["workers"] == workers), None)
+    strategy = config.get("collective", "hierarchical")
+    base_rec = (entry or {}).get(strategy)
+    if base_rec is None:
+        report.errors.append(f"scale: no {strategy} baseline at "
+                             f"n={workers}")
+        return
+    bench = run_training_benchmark(
+        _scale_spec(), "RDMA", num_servers=workers,
+        batch_size=config["batch_size"], iterations=config["iterations"],
+        strategy=strategy, fusion_bytes=int(config["fusion_mb"] * MB),
+        topology="fat-tree", hosts_per_rack=config["hosts_per_rack"],
+        oversubscription=config["oversubscription"])
+    if bench.crashed:
+        report.errors.append(f"scale: n={workers} crashed: "
+                             f"{bench.crash_reason}")
+        return
+    uplink = {name: s for name, s in bench.link_stats().items()
+              if name.startswith("tor")}
+    uplink_mb = sum(s["bytes_carried"] for s in uplink.values()) / MB
+    report.add(Check("scale", f"n{workers}.step_ms",
+                     base_rec["step_ms"], bench.step_time * 1e3,
+                     "lower_better", tolerance))
+    # Traffic volume drifting in either direction means the collective
+    # changed shape, not just speed — gate symmetrically.
+    report.add(Check("scale", f"n{workers}.uplink_mb",
+                     base_rec["uplink_mb"], uplink_mb, "match", tolerance))
+    report.add(Check("scale", f"n{workers}.predicted_wire_mb",
+                     base_rec["predicted_wire_mb"],
+                     (bench.predicted_wire_bytes or 0) / MB,
+                     "match", tolerance))
+
+
+def probe_serving(report: GateReport, baseline_dir: str,
+                  tolerance: float) -> None:
+    """Re-run the committed batched serving configuration."""
+    from ..serving import run_serving_benchmark
+
+    baseline = _load_baseline(baseline_dir, "BENCH_serving.json")
+    if baseline is None:
+        report.errors.append("serving: no BENCH_serving.json baseline")
+        return
+    config = baseline["config"]
+    label = f"batch-{config['max_batch']}"
+    base_row = next((r for r in baseline["runs"] if r["run"] == label), None)
+    if base_row is None:
+        report.errors.append(f"serving: no {label!r} run in baseline")
+        return
+    run = run_serving_benchmark(
+        get_model(config["model"]), replicas=config["replicas"],
+        qps=config["qps"], max_batch=config["max_batch"],
+        batch_timeout=config["batch_timeout"], slo_ms=config["slo_ms"],
+        arrival=config["arrival"], requests=config["requests"],
+        seed=config["seed"], priority_sched=True)
+    report.add(Check("serving", f"{label}.throughput_rps",
+                     base_row["throughput_rps"], run.throughput_rps,
+                     "higher_better", tolerance))
+    report.add(Check("serving", f"{label}.latency_p99_s",
+                     base_row["latency"]["p99"],
+                     run.latency.get("p99", 0.0), "lower_better", tolerance))
+    report.add(Check("serving", f"{label}.completed",
+                     base_row["completed"], run.completed,
+                     "match", tolerance))
+    if run.torn_serves != 0:
+        report.errors.append(f"serving: {run.torn_serves} torn serves "
+                             f"(invariant: 0)")
+
+
+_PROBE_FNS = {"overlap": probe_overlap, "scale": probe_scale,
+              "serving": probe_serving}
+
+
+# -- trajectory ------------------------------------------------------------------------
+
+
+def _git_revision() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short=12", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def append_trajectory(report: GateReport, path: str) -> None:
+    """Append a compact gate record to the telemetry results file.
+
+    The file keeps its telemetry-experiment payload untouched; the
+    gate only appends to (and trims) its ``trajectory`` list, so
+    ``BENCH_telemetry.json`` accumulates a bounded history of gate
+    verdicts per revision.
+    """
+    payload: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    trajectory = payload.setdefault("trajectory", [])
+    trajectory.append({
+        "revision": _git_revision(),
+        "ok": report.ok,
+        "regressions": [c.to_dict() for c in report.regressions],
+        "errors": list(report.errors),
+        "metrics": {f"{c.probe}.{c.metric}": c.fresh
+                    for c in report.checks},
+    })
+    del trajectory[:-TRAJECTORY_KEEP]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+# -- CLI -------------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.regress",
+        description="Compare fresh probe runs against committed "
+                    "BENCH_*.json baselines; exit nonzero on regression.")
+    parser.add_argument("--probes", default=",".join(PROBES),
+                        help=f"comma-separated subset of {PROBES}")
+    parser.add_argument("--baseline-dir", default="results",
+                        help="directory holding the BENCH_*.json baselines")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative tolerance for gated metrics")
+    parser.add_argument("--json", default=None,
+                        help="dump the full comparison to this path")
+    parser.add_argument("--trajectory", default=None,
+                        help="append a gate record to this telemetry "
+                             "results file (e.g. results/BENCH_telemetry"
+                             ".json)")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in (0, 1), got {args.tolerance}")
+    probes = [p.strip() for p in args.probes.split(",") if p.strip()]
+    for probe in probes:
+        if probe not in _PROBE_FNS:
+            parser.error(f"unknown probe {probe!r}; have {PROBES}")
+
+    report = GateReport()
+    for probe in probes:
+        print(f"[regress] probe: {probe}", flush=True)
+        try:
+            _PROBE_FNS[probe](report, args.baseline_dir, args.tolerance)
+        except Exception as exc:  # noqa: BLE001 - a broken probe IS a failure
+            report.errors.append(f"{probe}: probe raised {exc!r}")
+
+    for check in report.checks:
+        drift = ((check.fresh - check.baseline)
+                 / max(abs(check.baseline), 1e-12) * 100)
+        print(f"[regress] {check.verdict:9s} {check.probe}/{check.metric}: "
+              f"{check.baseline:.6g} -> {check.fresh:.6g} ({drift:+.2f}%)")
+    for error in report.errors:
+        print(f"[regress] ERROR     {error}")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.trajectory:
+        append_trajectory(report, args.trajectory)
+
+    if report.ok:
+        print(f"[regress] PASS: {len(report.checks)} checks, "
+              f"0 regressions")
+        return 0
+    print(f"[regress] FAIL: {len(report.regressions)} regressions, "
+          f"{len(report.errors)} errors")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,37 +11,57 @@ first-class subsystem instead of ad-hoc prints:
   and collective fragment hops.  Enabled per cluster via
   ``Cluster.enable_tracing()``; when disabled every instrumented fast
   path pays a single attribute check (the ``MetricsCollector``
-  pattern).
-* :class:`MetricsRegistry` — counters and histograms (transfer-size
-  distribution, poll iterations per wake, CQ depth, arena bytes
-  registered) attached to the tracer and merged into ``RunStats``.
-* :mod:`~repro.observability.chrome_trace` — Chrome ``trace_event``
-  JSON export viewable in Perfetto: one process per simulated host,
-  one thread per executor / CQ poller / protocol track.
+  pattern).  A :class:`TraceBudget` bounds what a tracer *retains*
+  (per-category sampling, host subsets, a hard span cap, a per-host
+  flight-recorder ring) without ever touching what it *accounts* —
+  the sum-to-step-time invariant survives any budget.
+* :class:`MetricsRegistry` — counters, gauges (with bounded history
+  sampling), and histograms (transfer-size distribution, poll
+  iterations per wake, CQ depth, arena bytes registered) attached to
+  the tracer and merged into ``RunStats``.
+* :class:`Telemetry` — fixed-memory streaming time-series: decimating
+  ring series plus P² quantile sketches per metric, with per-rack and
+  fleet rollups.  O(hosts + links) memory however long the run.
+* :mod:`~repro.observability.anomaly` — online MAD-based straggler
+  and link-hotspot detection plus serving SLO burn-rate alerts,
+  emitting structured sim-time-stamped :class:`Incident` records.
+* :mod:`~repro.observability.chrome_trace` — streaming Chrome
+  ``trace_event`` JSON export viewable in Perfetto: one process per
+  simulated host, one thread per executor / CQ poller / protocol
+  track, with explicit truncation markers when a cap bites.
 * :class:`StallReport` — the per-iteration stall attribution
   (compute / wire / poll-wait / serialization), i.e. a programmatic
   Figure-8-style breakdown whose components sum to the measured
   iteration time by construction.
 * :mod:`~repro.observability.capture` — the harness-facing sink behind
-  ``--trace-out`` / ``--metrics-json``.
+  ``--trace-out`` / ``--metrics-json`` / ``--telemetry-out``.
 """
 
-from .chrome_trace import (chrome_trace_events, to_chrome_trace,
-                           write_chrome_trace)
+from .anomaly import (Incident, detect_link_hotspots, detect_outliers,
+                      detect_run_anomalies, detect_stragglers,
+                      mad_zscores, slo_burn_alerts)
+from .chrome_trace import (ChromeTraceStream, chrome_trace_events,
+                           to_chrome_trace, write_chrome_trace,
+                           write_merged_trace)
 from .registry import (Counter, DEFAULT_PERCENTILES, Gauge,
                        Histogram, MetricsRegistry)
 from .stall import StallReport, build_stall_report
-from .tracer import (CATEGORIES, EXECUTOR_CATEGORIES, Span, Tracer,
-                     executor_track, protocol_track)
+from .timeseries import (P2Quantile, QuantileSketch, RingSeries,
+                         Telemetry, rack_label)
+from .tracer import (CATEGORIES, EXECUTOR_CATEGORIES, Span, TraceBudget,
+                     Tracer, executor_track, protocol_track)
 from .capture import (capture_enabled, capture_run, configure_capture,
-                      flush_capture, reset_capture)
+                      flush_capture, reset_capture, telemetry_enabled)
 
 __all__ = [
-    "CATEGORIES", "Counter", "DEFAULT_PERCENTILES",
-    "EXECUTOR_CATEGORIES", "Gauge", "Histogram",
-    "MetricsRegistry", "Span", "StallReport", "Tracer",
+    "CATEGORIES", "ChromeTraceStream", "Counter", "DEFAULT_PERCENTILES",
+    "EXECUTOR_CATEGORIES", "Gauge", "Histogram", "Incident",
+    "MetricsRegistry", "P2Quantile", "QuantileSketch", "RingSeries",
+    "Span", "StallReport", "Telemetry", "TraceBudget", "Tracer",
     "build_stall_report", "capture_enabled", "capture_run",
-    "chrome_trace_events", "configure_capture", "executor_track",
-    "flush_capture", "protocol_track", "reset_capture", "to_chrome_trace",
-    "write_chrome_trace",
+    "chrome_trace_events", "configure_capture", "detect_link_hotspots",
+    "detect_outliers", "detect_run_anomalies", "detect_stragglers",
+    "executor_track", "flush_capture", "mad_zscores", "protocol_track",
+    "rack_label", "reset_capture", "slo_burn_alerts", "telemetry_enabled",
+    "to_chrome_trace", "write_chrome_trace", "write_merged_trace",
 ]

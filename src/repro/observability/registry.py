@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .timeseries import RingSeries
+
 
 #: percentiles a histogram reports by default; serving SLOs need the
 #: p99.9 tail, so it is part of the default export
@@ -41,19 +43,29 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+#: retained samples per gauge history ring (decimating, see RingSeries)
+GAUGE_HISTORY_CAPACITY = 128
+
+
 class Gauge:
     """A named level that moves both ways (queue depth, in-flight).
 
     Tracks the current value and the high-water mark, which is what
-    admission-control tuning needs from a simulated run.
+    admission-control tuning needs from a simulated run.  Historically
+    that was *all* a gauge kept — the anomaly detector needs trajectory,
+    so :meth:`sample` additionally records timestamped values into a
+    bounded decimating ring (:class:`~.timeseries.RingSeries`); plain
+    :meth:`set` keeps the original last-value-only behaviour and cost.
     """
 
-    __slots__ = ("name", "value", "high_water")
+    __slots__ = ("name", "value", "high_water", "history")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self.high_water = 0.0
+        #: bounded (time, value) history; None until :meth:`sample` is used
+        self.history: Optional[RingSeries] = None
 
     def set(self, value: float) -> None:
         self.value = value
@@ -63,8 +75,20 @@ class Gauge:
     def add(self, amount: float = 1.0) -> None:
         self.set(self.value + amount)
 
-    def to_dict(self) -> Dict[str, float]:
-        return {"value": self.value, "high_water": self.high_water}
+    def sample(self, t: float, value: float) -> None:
+        """Set the gauge and append (t, value) to the bounded history."""
+        self.set(value)
+        if self.history is None:
+            self.history = RingSeries(self.name,
+                                      capacity=GAUGE_HISTORY_CAPACITY)
+        self.history.observe(t, value)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"value": self.value,
+                                  "high_water": self.high_water}
+        if self.history is not None:
+            out["history"] = self.history.to_dict()
+        return out
 
     def __repr__(self) -> str:
         return (f"Gauge({self.name}={self.value}, "
@@ -77,43 +101,71 @@ class Histogram:
     ``percentiles`` picks which quantiles :meth:`to_dict` reports
     (default :data:`DEFAULT_PERCENTILES`, which includes the p99.9
     tail); any quantile remains reachable via :meth:`percentile`.
+
+    ``max_samples`` bounds the retained raw values for fleet-scale
+    runs: when the cap is reached the sorted sample set is decimated
+    (every other value dropped), so quantiles degrade gracefully to
+    half resolution while count/sum/min/max/mean stay exact.  The
+    default (None) keeps every observation — the right call for the
+    few-thousand-sample runs the registry was built for.
     """
 
-    __slots__ = ("name", "percentiles", "_values", "_sorted")
+    __slots__ = ("name", "percentiles", "max_samples", "_values", "_sorted",
+                 "_count", "_total", "_vmin", "_vmax")
 
     def __init__(self, name: str,
-                 percentiles: Optional[Sequence[float]] = None) -> None:
+                 percentiles: Optional[Sequence[float]] = None,
+                 max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
         self.name = name
         self.percentiles: Tuple[float, ...] = (
             DEFAULT_PERCENTILES if percentiles is None
             else tuple(percentiles))
+        self.max_samples = max_samples
         self._values: List[float] = []
         self._sorted = True
+        self._count = 0
+        self._total = 0.0
+        self._vmin = float("inf")
+        self._vmax = float("-inf")
 
     def observe(self, value: float) -> None:
+        self._count += 1
+        self._total += value
+        if value < self._vmin:
+            self._vmin = value
+        if value > self._vmax:
+            self._vmax = value
         if self._values and value < self._values[-1]:
             self._sorted = False
         self._values.append(value)
+        if (self.max_samples is not None
+                and len(self._values) >= self.max_samples):
+            if not self._sorted:
+                self._values.sort()
+                self._sorted = True
+            self._values = self._values[::2]
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._values)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._values) if self._values else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
-        return min(self._values) if self._values else 0.0
+        return self._vmin if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return self._vmax if self._count else 0.0
 
     def percentile(self, p: float) -> float:
         """Exact percentile (nearest-rank); ``p`` in [0, 100]."""
@@ -146,12 +198,19 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters, gauges and histograms; created lazily on first use."""
+    """Named counters, gauges and histograms; created lazily on first use.
 
-    def __init__(self) -> None:
+    ``histogram_max_samples`` (None = unbounded) is inherited by every
+    histogram the registry creates — budgeted tracers pass a cap here
+    so per-event histograms cannot grow O(events) at fleet scale.
+    """
+
+    def __init__(self,
+                 histogram_max_samples: Optional[int] = None) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.histogram_max_samples = histogram_max_samples
 
     def counter(self, name: str) -> Counter:
         counter = self.counters.get(name)
@@ -170,7 +229,8 @@ class MetricsRegistry:
         histogram = self.histograms.get(name)
         if histogram is None:
             histogram = self.histograms[name] = Histogram(
-                name, percentiles=percentiles)
+                name, percentiles=percentiles,
+                max_samples=self.histogram_max_samples)
         return histogram
 
     def to_dict(self) -> Dict[str, object]:

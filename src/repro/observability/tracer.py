@@ -22,10 +22,12 @@ would dominate the trace file while being individually meaningless.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 from .registry import MetricsRegistry
+from .timeseries import Telemetry
 
 
 #: canonical span categories, by layer
@@ -93,26 +95,182 @@ class IterationWindow:
         return self.end - self.start
 
 
-class Tracer:
-    """Span sink + breakdown accumulators + metrics registry."""
+#: spans kept per host in the flight recorder ring (budgeted tracers)
+DEFAULT_FLIGHT_LEN = 64
 
-    def __init__(self) -> None:
+#: histogram sample cap applied to a budgeted tracer's registry
+BUDGETED_HISTOGRAM_SAMPLES = 65536
+
+
+@dataclass(frozen=True)
+class TraceBudget:
+    """Bounds on what a tracer *retains* (never on what it accounts).
+
+    The PR 2 tracer stored every span — O(events) memory, built for
+    n=2–4 hosts.  A budget makes retention explicit so 256-worker runs
+    stay bounded:
+
+    * ``sample_rates``/``default_rate`` — per-category deterministic
+      1-in-k sampling of emitted spans (k = round(1/rate)).  Sampling
+      uses a per-category counter, not randomness, so two runs of the
+      same configuration retain the same spans.
+    * ``hosts`` — only spans from these hosts are retained (``None``
+      keeps every host).  Host-less timelines (``cluster`` iteration
+      markers, ``fabric`` link queues) are always kept.
+    * ``span_cap`` — hard ceiling on retained spans; the overflow
+      count is exported as an explicit "truncated" marker.
+    * ``flight_len`` — per-host ring of the *most recent* spans,
+      fed before sampling, dumped on incident for post-mortems.
+
+    Breakdown accounting (``account``) always runs in full — the
+    sum-to-step-time invariant holds on every host regardless of the
+    budget; a budget only thins the span list backing trace export.
+    """
+
+    sample_rates: Mapping[str, float] = field(default_factory=dict)
+    default_rate: float = 1.0
+    hosts: Optional[frozenset] = None
+    span_cap: Optional[int] = None
+    flight_len: int = DEFAULT_FLIGHT_LEN
+
+    def __post_init__(self) -> None:
+        for category, rate in dict(self.sample_rates).items():
+            if not 0.0 < rate <= 1.0:
+                raise ValueError(f"sample rate for {category!r} must be in "
+                                 f"(0, 1], got {rate}")
+        if not 0.0 < self.default_rate <= 1.0:
+            raise ValueError(f"default_rate must be in (0, 1], "
+                             f"got {self.default_rate}")
+        if self.span_cap is not None and self.span_cap < 1:
+            raise ValueError("span_cap must be positive")
+        if self.flight_len < 0:
+            raise ValueError("flight_len cannot be negative")
+
+    def stride(self, category: str) -> int:
+        """Keep every ``stride``-th span of this category."""
+        rate = self.sample_rates.get(category, self.default_rate)
+        return max(1, int(round(1.0 / rate)))
+
+
+#: tracks that are not tied to a simulated host; never host-filtered
+_HOSTLESS = ("cluster", "fabric")
+
+
+class Tracer:
+    """Span sink + breakdown accumulators + metrics registry.
+
+    ``budget`` (optional) bounds span retention — see
+    :class:`TraceBudget`; ``telemetry`` (optional) receives an O(1)
+    digest of every span *before* any sampling decision, so streaming
+    series and the anomaly detector see the full event stream even
+    when the trace file keeps one span in a thousand.
+    """
+
+    def __init__(self, budget: Optional[TraceBudget] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        self.budget = budget
+        self.telemetry = telemetry
         self.spans: List[Span] = []
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(
+            histogram_max_samples=(BUDGETED_HISTOGRAM_SAMPLES
+                                   if budget is not None else None))
         #: (host, track, iteration) -> {category: seconds}
         self.breakdowns: Dict[Tuple[str, str, int], Dict[str, float]] = {}
         self.iteration_windows: List[IterationWindow] = []
+        #: spans not retained because of the budget (sampled out,
+        #: host-filtered, or over the cap)
+        self.dropped_spans = 0
+        #: per-host ring of recent spans (budgeted tracers only)
+        self.flight: Dict[str, Deque[Span]] = {}
+        self._sample_counts: Dict[str, int] = {}
+
+    @property
+    def truncated(self) -> bool:
+        """True when the budget dropped at least one span."""
+        return self.dropped_spans > 0
 
     # -- recording -------------------------------------------------------------------
 
+    def _retain(self, category: str, host: str) -> bool:
+        """The budget's verdict for one would-be span."""
+        budget = self.budget
+        if budget is None:
+            return True
+        if (budget.hosts is not None and host not in budget.hosts
+                and host not in _HOSTLESS):
+            return False
+        stride = budget.stride(category)
+        if stride > 1:
+            count = self._sample_counts.get(category, 0)
+            self._sample_counts[category] = count + 1
+            if count % stride != 0:
+                return False
+        if (budget.span_cap is not None
+                and len(self.spans) >= budget.span_cap):
+            return False
+        return True
+
     def record(self, category: str, name: str, host: str, track: str,
                start: float, end: float,
-               args: Optional[Dict[str, object]] = None) -> Span:
-        """Append one retrospective span; returns it."""
+               args: Optional[Dict[str, object]] = None) -> Optional[Span]:
+        """Append one retrospective span; returns it (None if sampled out).
+
+        The telemetry digest and the flight recorder always see the
+        span; only retention in :attr:`spans` is subject to the budget.
+        """
+        end = max(end, start)
+        if self.telemetry is not None:
+            self.telemetry.observe_span(category, host, track, start, end)
+        budget = self.budget
+        if budget is None:
+            span = Span(category=category, name=name, host=host, track=track,
+                        start=start, end=end, args=args)
+            self.spans.append(span)
+            return span
         span = Span(category=category, name=name, host=host, track=track,
-                    start=start, end=max(end, start), args=args)
+                    start=start, end=end, args=args)
+        if budget.flight_len > 0:
+            ring = self.flight.get(host)
+            if ring is None:
+                ring = self.flight[host] = deque(maxlen=budget.flight_len)
+            ring.append(span)
+        if not self._retain(category, host):
+            self.dropped_spans += 1
+            return None
         self.spans.append(span)
         return span
+
+    def flight_dump(self, host: Optional[str] = None) -> List[Span]:
+        """Recent spans from the flight recorder (one host or all).
+
+        An unbudgeted tracer retains every span, so the same window is
+        synthesized from the full span list — incident post-mortems get
+        identical evidence whether or not a budget thinned retention.
+        """
+        if self.budget is None:
+            length = DEFAULT_FLIGHT_LEN
+            if host is not None:
+                matching = [s for s in self.spans
+                            if s.host == host and s.host not in _HOSTLESS]
+                return matching[-length:]
+            recent: Dict[str, Deque[Span]] = {}
+            for span in self.spans:
+                if span.host in _HOSTLESS:
+                    continue
+                ring = recent.get(span.host)
+                if ring is None:
+                    ring = recent[span.host] = deque(maxlen=length)
+                ring.append(span)
+            out = [span for ring in recent.values() for span in ring]
+            out.sort(key=lambda s: s.start)
+            return out
+        if host is not None:
+            return list(self.flight.get(host, ()))
+        out = []
+        for ring in self.flight.values():
+            out.extend(ring)
+        out.sort(key=lambda s: s.start)
+        return out
 
     def account(self, host: str, track: str, iteration: int, category: str,
                 start: float, end: float, name: Optional[str] = None,
@@ -183,6 +341,16 @@ class Tracer:
 
     def reset(self) -> None:
         self.spans = []
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(
+            histogram_max_samples=(BUDGETED_HISTOGRAM_SAMPLES
+                                   if self.budget is not None else None))
         self.breakdowns = {}
         self.iteration_windows = []
+        self.dropped_spans = 0
+        self.flight = {}
+        self._sample_counts = {}
+        if self.telemetry is not None:
+            self.telemetry = Telemetry(
+                hosts_per_rack=self.telemetry.hosts_per_rack,
+                series_capacity=self.telemetry.series_capacity,
+                percentiles=self.telemetry.percentiles)

@@ -26,6 +26,7 @@ from ..core.device import DeviceError, Direction, RdmaDevice
 from ..core.publication import build_publication, park_until
 from ..core.recovery import RecoveryManager, RetryPolicy
 from ..models.spec import ModelSpec
+from ..observability.anomaly import slo_burn_alerts
 from ..observability.registry import Histogram, MetricsRegistry
 from ..simnet.costmodel import (DEFAULT_COST_MODEL,
                                 DEFAULT_WIRE_QUANTUM_BYTES, MB)
@@ -75,6 +76,8 @@ class ServingResult:
     staleness: Dict[str, float] = field(default_factory=dict)
     replica_deaths: int = 0
     observability: Dict = field(default_factory=dict)
+    #: SLO burn-rate alerts (structured Incident dicts, sim-timestamped)
+    incidents: List[Dict] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         return {
@@ -95,6 +98,7 @@ class ServingResult:
             "publishes": self.publishes, "swaps": self.swaps,
             "torn_serves": self.torn_serves, "staleness": self.staleness,
             "replica_deaths": self.replica_deaths,
+            "incidents": self.incidents,
         }
 
 
@@ -218,6 +222,8 @@ def run_serving_benchmark(
         hist.observe(latency)
     slo = slo_ms * 1e-3
     attained = sum(1 for latency in router.latencies if latency <= slo)
+    incidents = [incident.to_dict() for incident in
+                 slo_burn_alerts(router.latency_samples, slo)]
     batch_hist = metrics.histograms.get("serving.batch_size")
     staleness_hist = metrics.histograms.get("serving.staleness_versions")
     return ServingResult(
@@ -240,7 +246,8 @@ def run_serving_benchmark(
         staleness=(staleness_hist.to_dict()
                    if staleness_hist is not None else {}),
         replica_deaths=router.replica_deaths,
-        observability=metrics.to_dict())
+        observability=metrics.to_dict(),
+        incidents=incidents)
 
 
 def _background_traffic(sim: Simulator, channel, src, sink_remote,

@@ -89,6 +89,9 @@ class Router:
         self.failed = 0
         self.in_system = 0
         self.latencies: List[float] = []
+        #: (completion sim-time, latency) pairs — the burn-rate
+        #: detector's windowed input (see observability.anomaly)
+        self.latency_samples: List[Tuple[float, float]] = []
         self.replica_deaths = 0
 
     # -- wiring -------------------------------------------------------------------
@@ -222,6 +225,7 @@ class Router:
                 request.completed = now
                 latency = request.latency
                 self.latencies.append(latency)
+                self.latency_samples.append((now, latency))
                 if self.metrics is not None:
                     self.metrics.histogram("serving.latency_s").observe(
                         latency)

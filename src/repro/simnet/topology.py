@@ -114,10 +114,16 @@ class Cluster:
             self.metrics = MetricsCollector()
         return self.metrics
 
-    def enable_tracing(self) -> Tracer:
-        """Record timestamped spans (see :mod:`repro.observability`)."""
+    def enable_tracing(self, budget=None, telemetry=None) -> Tracer:
+        """Record timestamped spans (see :mod:`repro.observability`).
+
+        ``budget`` (a :class:`~repro.observability.TraceBudget`) bounds
+        span retention for fleet-scale runs; ``telemetry`` (a
+        :class:`~repro.observability.Telemetry`) digests every span
+        into fixed-memory streaming series before any sampling.
+        """
         if self.tracer is None:
-            self.tracer = Tracer()
+            self.tracer = Tracer(budget=budget, telemetry=telemetry)
         if self.fabric is not None:
             # Uplink queueing becomes link_queue spans for stall reports.
             self.fabric.tracer = self.tracer

@@ -116,6 +116,65 @@ class TestCaptureFlags:
         assert not capture_enabled()
 
 
+class TestTelemetryFlags:
+    def teardown_method(self):
+        from repro.distributed import reset_comm_config
+        from repro.observability import reset_capture
+        reset_comm_config()
+        reset_capture()
+
+    def test_budget_flags_need_a_capture_sink(self):
+        with pytest.raises(SystemExit):
+            main(["--trace-sample", "0.1", "table2"])
+        with pytest.raises(SystemExit):
+            main(["--trace-hosts", "2", "table2"])
+
+    def test_event_cap_needs_trace_out(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--trace-event-cap", "100", "--metrics-json",
+                  str(tmp_path / "m.json"), "table2"])
+
+    def test_sample_rate_range_enforced(self, tmp_path):
+        sink = ["--telemetry-out", str(tmp_path / "t.json")]
+        with pytest.raises(SystemExit):
+            main(["--trace-sample", "0", *sink, "table2"])
+        with pytest.raises(SystemExit):
+            main(["--trace-sample", "1.5", *sink, "table2"])
+
+    def test_event_cap_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--trace-event-cap", "0", "--trace-out",
+                  str(tmp_path / "t.json"), "table2"])
+
+    def test_malformed_trace_hosts_rejected_early(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--trace-hosts", "a,,b", "--telemetry-out",
+                  str(tmp_path / "t.json"), "table2"])
+        assert "--trace-hosts" in capsys.readouterr().err
+
+    def test_budget_flags_configure_comm(self, capsys, tmp_path):
+        from repro.distributed import comm_config
+        assert main(["stallreport", "--telemetry-out",
+                     str(tmp_path / "t.json"), "--trace-sample", "0.5",
+                     "--trace-hosts", "server0"]) == 0
+        config = comm_config()
+        assert config.trace_sample == 0.5
+        assert config.trace_hosts == "server0"
+
+    def test_telemetry_out_written(self, capsys, tmp_path):
+        import json
+
+        telemetry_path = tmp_path / "telemetry.json"
+        assert main(["stallreport", "--telemetry-out",
+                     str(telemetry_path), "--trace-sample", "0.1"]) == 0
+        assert "telemetry written to" in capsys.readouterr().err
+        payload = json.loads(telemetry_path.read_text())
+        run = payload["runs"][0]
+        assert run["spans_dropped"] > 0
+        assert run["telemetry"]["rollups"]
+        assert payload["incident_total"] == 0  # healthy run, no incidents
+
+
 class TestServingFlags:
     def teardown_method(self):
         from repro.serving import reset_serving_config

@@ -54,7 +54,7 @@ class TestExperimentResult:
         assert set(ALL_EXPERIMENTS) == {
             "table2", "figure7", "figure8", "figure9", "figure10",
             "figure11", "figure12", "table3", "allreduce", "stallreport",
-            "overlap", "chaos", "serving", "scale"}
+            "overlap", "chaos", "serving", "scale", "telemetry"}
 
 
 class TestFastExperiments:

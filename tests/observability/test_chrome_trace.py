@@ -2,7 +2,10 @@
 
 import json
 
-from repro.observability import (Tracer, chrome_trace_events, to_chrome_trace,
+import pytest
+
+from repro.observability import (ChromeTraceStream, TraceBudget, Tracer,
+                                 chrome_trace_events, to_chrome_trace,
                                  write_chrome_trace)
 from repro.observability.capture import (capture_enabled, capture_run,
                                          configure_capture, flush_capture,
@@ -67,6 +70,56 @@ class TestChromeExport:
         write_chrome_trace(_sample_tracer(), str(path))
         loaded = json.loads(path.read_text())
         assert len(loaded["traceEvents"]) > 0
+
+
+class TestStreamingExport:
+    def test_stream_matches_in_memory_export(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "stream.trace.json"
+        with ChromeTraceStream(str(path)) as stream:
+            stream.add_run(tracer)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"] == chrome_trace_events(tracer)
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_event_cap_writes_truncation_marker(self, tmp_path):
+        tracer = Tracer()
+        for i in range(20):
+            tracer.record("op", f"op{i}", "server0", "executor:w0",
+                          float(i), float(i) + 0.5)
+        path = tmp_path / "capped.trace.json"
+        with ChromeTraceStream(str(path), max_events=5) as stream:
+            stream.add_run(tracer)
+        loaded = json.loads(path.read_text())
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 5
+        (marker,) = [e for e in loaded["traceEvents"]
+                     if e["name"] == "trace truncated"]
+        assert marker["args"] == {"dropped_spans": 15,
+                                  "reason": "event cap"}
+
+    def test_metadata_exempt_from_cap(self, tmp_path):
+        path = tmp_path / "meta.trace.json"
+        with ChromeTraceStream(str(path), max_events=1) as stream:
+            stream.add_run(_sample_tracer())
+        loaded = json.loads(path.read_text())
+        names = {e["args"]["name"] for e in loaded["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert names == {"server0", "server1"}  # attribution survives
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ChromeTraceStream(str(tmp_path / "x.json"), max_events=0)
+
+    def test_budget_truncation_marker_in_events(self):
+        tracer = Tracer(budget=TraceBudget(span_cap=2))
+        for i in range(10):
+            tracer.record("op", f"op{i}", "server0", "executor:w0",
+                          float(i), float(i) + 0.5)
+        events = chrome_trace_events(tracer)
+        (marker,) = [e for e in events if e["name"] == "trace truncated"]
+        assert marker["args"] == {"dropped_spans": 8,
+                                  "reason": "trace budget"}
 
 
 class TestCaptureSink:

@@ -33,6 +33,86 @@ class TestGauge:
         assert "gauges" not in registry.to_dict()
 
 
+class TestGaugeHistory:
+    def test_set_alone_keeps_no_history(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        assert gauge.history is None
+        assert "history" not in gauge.to_dict()
+
+    def test_sample_records_bounded_history(self):
+        gauge = Gauge("util")
+        for i in range(10_000):
+            gauge.sample(float(i), float(i % 7))
+        assert gauge.value == 9999 % 7
+        assert gauge.high_water == 6.0
+        assert len(gauge.history.points) < 128
+        assert gauge.history.count == 10_000
+
+    def test_to_dict_gains_history_only_when_sampled(self):
+        gauge = Gauge("util")
+        gauge.sample(1.0, 0.5)
+        out = gauge.to_dict()
+        assert out["value"] == 0.5
+        assert out["history"]["count"] == 1
+
+    def test_sample_moves_the_gauge_like_set(self):
+        gauge = Gauge("util")
+        gauge.sample(0.0, 9.0)
+        gauge.sample(1.0, 2.0)
+        assert gauge.value == 2.0
+        assert gauge.high_water == 9.0
+
+
+class TestHistogramCap:
+    def test_cap_floor(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", max_samples=1)
+
+    def test_uncapped_keeps_everything(self):
+        histogram = Histogram("lat")
+        for value in range(5000):
+            histogram.observe(float(value))
+        assert histogram.count == 5000
+        assert histogram._values and len(histogram._values) == 5000
+
+    def test_cap_bounds_retained_samples(self):
+        histogram = Histogram("lat", max_samples=64)
+        for value in range(100_000):
+            histogram.observe(float(value))
+        assert len(histogram._values) < 64
+
+    def test_aggregates_exact_despite_decimation(self):
+        histogram = Histogram("lat", max_samples=32)
+        values = [float(v) for v in range(1000)]
+        for value in values:
+            histogram.observe(value)
+        assert histogram.count == 1000
+        assert histogram.total == sum(values)
+        assert histogram.min == 0.0
+        assert histogram.max == 999.0
+        assert histogram.mean == pytest.approx(sum(values) / 1000)
+
+    def test_quantiles_degrade_gracefully(self):
+        import random
+        rng = random.Random(3)
+        histogram = Histogram("lat", max_samples=256)
+        for _ in range(10_000):
+            histogram.observe(rng.uniform(0.0, 100.0))
+        # half-resolution quantiles over a stationary stream, not
+        # garbage: the median of uniform(0, 100) stays near 50
+        assert histogram.percentile(50) == pytest.approx(50, abs=10)
+        assert histogram.percentile(99) == pytest.approx(99, abs=5)
+
+    def test_registry_cap_inherited_by_new_histograms(self):
+        registry = MetricsRegistry(histogram_max_samples=16)
+        histogram = registry.histogram("h")
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert len(histogram._values) < 16
+        assert histogram.count == 1000
+
+
 class TestPercentileKeys:
     def test_integer_percentiles_render_without_decimal(self):
         assert percentile_key(50) == "p50"

@@ -1,0 +1,187 @@
+"""Streaming time-series: P² sketches, decimating rings, rollups."""
+
+import random
+
+import pytest
+
+from repro.observability import (P2Quantile, QuantileSketch, RingSeries,
+                                 Telemetry, rack_label)
+
+
+class TestP2Quantile:
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_exact_below_five_samples(self):
+        q = P2Quantile(0.5)
+        for v in (30.0, 10.0, 20.0):
+            q.observe(v)
+        assert q.value == 20.0
+
+    def test_empty_is_zero(self):
+        assert P2Quantile(0.9).value == 0.0
+
+    def test_median_of_uniform_stream(self):
+        rng = random.Random(7)
+        q = P2Quantile(0.5)
+        for _ in range(5000):
+            q.observe(rng.uniform(0.0, 100.0))
+        assert q.value == pytest.approx(50.0, abs=3.0)
+
+    def test_p99_of_uniform_stream(self):
+        rng = random.Random(11)
+        q = P2Quantile(0.99)
+        for _ in range(5000):
+            q.observe(rng.uniform(0.0, 100.0))
+        assert q.value == pytest.approx(99.0, abs=2.0)
+
+    def test_constant_stream(self):
+        q = P2Quantile(0.9)
+        for _ in range(100):
+            q.observe(5.0)
+        assert q.value == 5.0
+
+
+class TestQuantileSketch:
+    def test_exact_aggregates(self):
+        sketch = QuantileSketch("lat", percentiles=(50,))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            sketch.observe(v)
+        assert sketch.count == 4
+        assert sketch.total == 10.0
+        assert sketch.min == 1.0
+        assert sketch.max == 4.0
+        assert sketch.mean == 2.5
+
+    def test_to_dict_histogram_compatible(self):
+        sketch = QuantileSketch("lat", percentiles=(50, 99))
+        sketch.observe(1.0)
+        out = sketch.to_dict()
+        assert set(out) == {"count", "sum", "min", "max", "mean",
+                            "p50", "p99"}
+
+    def test_unknown_percentile_raises(self):
+        sketch = QuantileSketch("lat", percentiles=(50,))
+        with pytest.raises(KeyError):
+            sketch.percentile(90)
+
+
+class TestRingSeries:
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            RingSeries("x", capacity=1)
+
+    def test_no_decimation_below_capacity(self):
+        ring = RingSeries("x", capacity=16)
+        for i in range(10):
+            ring.observe(float(i), float(i))
+        assert ring.stride == 1
+        assert len(ring.points) == 10
+
+    def test_decimation_bounds_memory(self):
+        ring = RingSeries("x", capacity=16)
+        for i in range(10_000):
+            ring.observe(float(i), float(i))
+        assert len(ring.points) < 16
+        assert ring.stride > 1
+
+    def test_decimated_points_span_whole_run(self):
+        ring = RingSeries("x", capacity=16)
+        for i in range(1000):
+            ring.observe(float(i), float(i))
+        times = [t for t, _ in ring.points]
+        assert times[0] == 0.0          # run start survives decimation
+        assert times[-1] >= 500.0       # tail coverage, not just a prefix
+        assert times == sorted(times)
+
+    def test_aggregates_exact_despite_decimation(self):
+        ring = RingSeries("x", capacity=8)
+        values = list(range(1000))
+        for i, v in enumerate(values):
+            ring.observe(float(i), float(v))
+        assert ring.count == 1000
+        assert ring.total == float(sum(values))
+        assert ring.min == 0.0
+        assert ring.max == 999.0
+        assert ring.last == 999.0
+        assert ring.last_time == 999.0
+
+    def test_to_dict_points_optional(self):
+        ring = RingSeries("x")
+        ring.observe(1.0, 2.0)
+        assert "points" not in ring.to_dict()
+        assert ring.to_dict(include_points=True)["points"] == [[1.0, 2.0]]
+
+
+class TestRackLabel:
+    def test_groups_by_index(self):
+        assert rack_label("server0", 8) == "rack0"
+        assert rack_label("server7", 8) == "rack0"
+        assert rack_label("server12", 8) == "rack1"
+        assert rack_label("server255", 8) == "rack31"
+
+    def test_unknown_width_or_name(self):
+        assert rack_label("server3", None) is None
+        assert rack_label("fabric", 8) is None
+
+
+class TestTelemetry:
+    def test_observe_host_feeds_three_levels(self):
+        telemetry = Telemetry(hosts_per_rack=2)
+        telemetry.observe_host("verb_latency", "server3", 1.0, 5.0)
+        assert "verb_latency:server3" in telemetry.series
+        assert "verb_latency:rack1" in telemetry.sketches
+        assert "verb_latency:fleet" in telemetry.sketches
+        assert telemetry.sketches["verb_latency:fleet"].count == 1
+
+    def test_span_digest_routes_verbs(self):
+        telemetry = Telemetry(hosts_per_rack=4)
+        telemetry.observe_span("verb", "server1", "nic:qp3", 1.0, 1.5)
+        assert telemetry.series["verb_latency:server1"].last == 0.5
+        # categories without a digest are ignored, not an error
+        telemetry.observe_span("op", "server1", "executor:d", 0.0, 1.0)
+        assert "op:server1" not in telemetry.series
+
+    def test_span_digest_routes_link_queue(self):
+        telemetry = Telemetry()
+        telemetry.observe_span("link_queue", "fabric", "link:tor0-up",
+                               2.0, 2.25)
+        assert telemetry.series["link_queue_wait:tor0-up"].last == 0.25
+        assert telemetry.sketches["link_queue_wait:fleet"].count == 1
+
+    def test_host_statistic_excludes_rollups(self):
+        telemetry = Telemetry(hosts_per_rack=2)
+        for host, value in (("server0", 1.0), ("server1", 3.0)):
+            telemetry.observe_host("verb_latency", host, 0.0, value)
+        stats = telemetry.host_statistic("verb_latency", "mean")
+        assert stats == {"server0": 1.0, "server1": 3.0}
+
+    def test_host_statistic_percentile_and_unknown(self):
+        telemetry = Telemetry()
+        telemetry.observe_host("verb_latency", "server0", 0.0, 2.0)
+        p50 = telemetry.host_statistic("verb_latency", "p50")
+        assert p50["server0"] == 2.0
+        with pytest.raises(ValueError):
+            telemetry.host_statistic("verb_latency", "median")
+
+    def test_to_dict_rollups_only_rack_and_fleet(self):
+        telemetry = Telemetry(hosts_per_rack=2)
+        telemetry.observe_host("verb_latency", "server0", 0.0, 1.0)
+        out = telemetry.to_dict()
+        assert set(out["rollups"]) == {"verb_latency:rack0",
+                                       "verb_latency:fleet"}
+        assert "verb_latency:server0" in out["series"]
+
+    def test_memory_is_bounded(self):
+        telemetry = Telemetry(hosts_per_rack=4, series_capacity=32)
+        for i in range(20_000):
+            telemetry.observe_span("verb", f"server{i % 8}", "nic:qp0",
+                                   float(i), float(i) + 1e-6)
+        assert len(telemetry.series) == 8
+        for ring in telemetry.series.values():
+            assert len(ring.points) < 32
+        # rollups stay O(1) per rack + fleet
+        assert telemetry.sketches["verb_latency:fleet"].count == 20_000
