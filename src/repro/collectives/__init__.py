@@ -19,6 +19,8 @@ from .fragments import (ChunkRef, halving_doubling_allreduce,
                         ring_reduce_scatter)
 from .hierarchical import (INTER_RACK_ALGORITHMS, hierarchical_allreduce,
                            hierarchical_wire_bytes, rack_uplink_bytes)
+from .innetwork import (innetwork_allreduce, innetwork_uplink_bytes,
+                        innetwork_wire_bytes)
 
 __all__ = [
     "BROADCAST_MODES", "ChunkRef", "DEFAULT_FUSION_BYTES", "GradientBucket", "chunk_ranges",
@@ -26,6 +28,7 @@ __all__ = [
     "halving_doubling_allreduce", "halving_doubling_wire_bytes",
     "hierarchical_allreduce", "hierarchical_wire_bytes",
     "rack_uplink_bytes",
+    "innetwork_allreduce", "innetwork_uplink_bytes", "innetwork_wire_bytes",
     "plan_buckets", "ring_all_gather", "ring_allreduce",
     "ring_allreduce_wire_bytes", "ring_reduce_scatter",
     "broadcast_hops", "downstream_of", "root_egress_bytes", "upstream_of",

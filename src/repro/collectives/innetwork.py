@@ -1,0 +1,115 @@
+"""In-network (switch-aggregated) allreduce a la NetReduce.
+
+The rack-aware hierarchical schedule still moves ``2·M·(H-1)/H`` bytes
+per worker at the access links because *hosts* do all the arithmetic.
+If the ToR and spine switches can reduce gradient chunks as they pass
+(NetReduce's RDMA-compatible programmable-switch design, PAPERS.md),
+each worker only has to send its own buffer *up* once and receive the
+reduced buffer *down* once: per-worker wire volume drops from the
+ring-family ``2·M·(N-1)/N`` toward the information-theoretic ``M`` in
+each direction, and the dependency chain collapses from ``O(H + R)``
+steps to a single streamed round trip.
+
+Graph shape
+-----------
+Unlike the ring/hierarchical fragments, the collective emits **no
+cross-device edges**: each worker gets one ``InNetworkReduce`` node
+whose input is its packed fusion buffer and whose output is the reduced
+buffer.  The executor hands the node to the comm runtime (like
+``_Send``/``_Recv``), which streams the buffer toward the worker's ToR
+in aggregation-slot-sized chunks tagged ``in-network-aggregate`` and
+polls a flag byte on a preallocated receive region for the multicast
+result — the same zero-copy static-placement discipline as every other
+transfer.  The switch-side combine, trunk booking, backpressure spill
+and failure fallback live in
+:class:`repro.simnet.fabric.AggregationPlane` and
+:mod:`repro.core.innetwork`.
+
+The collective requires a fat-tree fabric; on a flat topology the
+runner falls back to the hierarchical host collective (there is no
+switch to aggregate in).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graph.builder import GraphBuilder
+from ..graph.node import GraphError, NodeOutput
+from ..graph.ops import register
+from ..graph.shapes import Shape
+from .fragments import _check_inputs
+
+
+def _infer_set(node, shapes, dtypes) -> None:
+    node.output_shapes = [Shape(s) if not isinstance(s, Shape) else s
+                          for s in shapes]
+    node.output_dtypes = list(dtypes)
+    node.static_shape = all(s.is_fully_defined for s in node.output_shapes)
+
+
+@register("InNetworkReduce", cost=lambda node, cm: cm.op_overhead)
+def _infer_innetwork_reduce(node, in_shapes, in_dtypes):
+    shape = in_shapes[0]
+    if shape.rank != 1 or not shape.is_fully_defined:
+        raise GraphError(f"{node.name}: InNetworkReduce needs a static "
+                         f"flat fusion buffer, got {shape}")
+    for key in ("group", "member", "num_members", "hosts_per_rack"):
+        if key not in node.attrs:
+            raise GraphError(f"{node.name}: InNetworkReduce missing "
+                             f"attr {key!r}")
+    _infer_set(node, [shape], [in_dtypes[0]])
+
+
+def innetwork_allreduce(builder: GraphBuilder,
+                        inputs: Sequence[NodeOutput],
+                        devices: Sequence[str],
+                        hosts_per_rack: int,
+                        name: str = "innet") -> List[NodeOutput]:
+    """Switch-aggregated allreduce over one flat fusion buffer.
+
+    Emits one ``InNetworkReduce`` node per worker; ``name`` doubles as
+    the reduction-group id the comm runtime and the aggregation plane
+    rendezvous on, so it must be unique per collective in the graph.
+    Workers map to racks in index order, ``hosts_per_rack`` at a time,
+    matching :func:`repro.simnet.fabric.rack_of`.
+    """
+    n = len(devices)
+    _check_inputs(builder, inputs, devices)
+    if hosts_per_rack < 1:
+        raise ValueError(f"hosts_per_rack must be >= 1, got {hosts_per_rack}")
+    if n == 1:
+        return list(inputs)
+    return [builder.add_op(
+        "InNetworkReduce", [inputs[i]],
+        attrs={"group": name, "member": i, "num_members": n,
+               "hosts_per_rack": hosts_per_rack},
+        name=f"{name}/w{i}/innet", device=devices[i]) for i in range(n)]
+
+
+# -- analytic wire-volume predictions ----------------------------------------------
+
+
+def innetwork_wire_bytes(nbytes: int, num_workers: int) -> float:
+    """Mean payload bytes each worker puts on the wire per allreduce.
+
+    One full buffer up to the ToR — the multicast result back down is
+    ingress, charged to the switch, so the per-worker *egress* volume
+    is exactly ``M`` (~2x less than the ring family's asymptotic
+    ``2·M``).
+    """
+    if num_workers <= 1:
+        return 0.0
+    return float(nbytes)
+
+
+def innetwork_uplink_bytes(nbytes: int, num_racks: int) -> float:
+    """Analytic per-rack trunk payload: one partial up, one result down.
+
+    Constant in the rack count — the switch hierarchy turns the
+    inter-rack exchange into a single ``M``-byte partial per direction,
+    versus the hierarchical host collective's ``2·M·(R-1)/R``.
+    """
+    if num_racks <= 1:
+        return 0.0
+    return 2.0 * nbytes

@@ -25,6 +25,7 @@ from ..simnet.topology import Endpoint
 from .address_book import attach_address_book
 from .analyzer import DevicePlan, RdmaGraphAnalyzer
 from .device import DeviceError, MemRegion, RdmaDevice
+from .innetwork import InNetworkRuntime
 from .recovery import RecoveryManager, RetryPolicy
 from .tracing import AllocationSiteTracer
 from .transfer import (DynamicReceiver, DynamicSender, StaticReceiver,
@@ -68,6 +69,9 @@ class RdmaCommRuntime(CommRuntime):
         #: armed; None keeps every protocol on its legacy (bit-identical)
         #: code path
         self.recovery: Optional[RecoveryManager] = None
+        #: built in :meth:`prepare` iff the graph contains
+        #: ``InNetworkReduce`` nodes (switch-aggregated allreduce)
+        self.innetwork: Optional[InNetworkRuntime] = None
 
     # -- setup -------------------------------------------------------------------------
 
@@ -98,6 +102,12 @@ class RdmaCommRuntime(CommRuntime):
 
         for device_name, executor in session.executors.items():
             self._prepare_device(session, executor, plans[device_name])
+
+        # Switch-aggregated collectives: receive regions + the shared
+        # aggregation plane, built only when the graph asks for them.
+        runtime = InNetworkRuntime(self, session)
+        if runtime.active:
+            self.innetwork = runtime
 
     def _prepare_device(self, session, executor: Executor,
                         plan: DevicePlan) -> None:
@@ -253,3 +263,10 @@ class RdmaCommRuntime(CommRuntime):
                 executor, node.attrs["shape"].num_elements()
                 * node.attrs["dtype"].size
                 if node.attrs["shape"].is_fully_defined else 0))
+
+    def execute_innetwork(self, executor: Executor, node: Node,
+                          tensor: Tensor) -> Outcome:
+        if self.innetwork is None:
+            raise DeviceError(f"{node.name}: no in-network runtime was "
+                              f"prepared for this session")
+        return self.innetwork.execute(self, executor, node, tensor)

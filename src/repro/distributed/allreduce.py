@@ -34,6 +34,8 @@ from ..collectives.fragments import (halving_doubling_allreduce,
                                      tag_fragment_priority)
 from ..collectives.hierarchical import (hierarchical_allreduce,
                                         hierarchical_wire_bytes)
+from ..collectives.innetwork import (innetwork_allreduce,
+                                     innetwork_wire_bytes)
 from ..graph.builder import GraphBuilder
 from ..graph.dtypes import DType
 from ..graph.node import Graph, NodeOutput
@@ -43,7 +45,8 @@ from .replication import _LR
 
 
 #: collective algorithms selectable from the harness
-ALLREDUCE_ALGORITHMS = ("ring", "halving-doubling", "hierarchical")
+ALLREDUCE_ALGORITHMS = ("ring", "halving-doubling", "hierarchical",
+                        "innetwork")
 
 
 @dataclass
@@ -71,6 +74,9 @@ class AllreduceTrainingJob:
             return sum(hierarchical_wire_bytes(bucket.nbytes,
                                                self.num_workers,
                                                self.hosts_per_rack or 1)
+                       for bucket in self.buckets)
+        if self.algorithm == "innetwork":
+            return sum(innetwork_wire_bytes(bucket.nbytes, self.num_workers)
                        for bucket in self.buckets)
         predict = (ring_allreduce_wire_bytes if self.algorithm == "ring"
                    else halving_doubling_wire_bytes)
@@ -107,15 +113,18 @@ def build_allreduce_training_graph(
     if algorithm not in ALLREDUCE_ALGORITHMS:
         raise ValueError(f"unknown allreduce algorithm {algorithm!r}; "
                          f"have {ALLREDUCE_ALGORITHMS}")
-    if algorithm == "hierarchical":
+    if algorithm in ("hierarchical", "innetwork"):
         if hosts_per_rack is None or hosts_per_rack < 1:
-            raise ValueError("hierarchical allreduce needs hosts_per_rack "
+            raise ValueError(f"{algorithm} allreduce needs hosts_per_rack "
                              f">= 1, got {hosts_per_rack!r}")
+        rack_collective = (hierarchical_allreduce
+                           if algorithm == "hierarchical"
+                           else innetwork_allreduce)
 
         def collective(builder, packed, workers, name):
-            return hierarchical_allreduce(builder, packed, workers,
-                                          hosts_per_rack=hosts_per_rack,
-                                          name=name)
+            return rack_collective(builder, packed, workers,
+                                   hosts_per_rack=hosts_per_rack,
+                                   name=name)
     else:
         collective = (ring_allreduce if algorithm == "ring"
                       else halving_doubling_allreduce)

@@ -12,7 +12,10 @@ PS shards with worker-to-worker collectives
 (:mod:`repro.distributed.allreduce`).  ``topology="fat-tree"`` swaps
 the flat full-bisection network for the multi-rack leaf/spine fabric
 of :mod:`repro.simnet.fabric`, whose oversubscribed uplinks are what
-the hierarchical collective is shaped around.
+the hierarchical collective is shaped around.  ``"innetwork"`` moves
+the reduction arithmetic *into* those switches (the aggregation plane
+of the fabric module): it requires the fat-tree topology and degrades
+cleanly to the hierarchical host collective everywhere else.
 """
 
 from __future__ import annotations
@@ -46,7 +49,8 @@ from .rpc_comm import GrpcCommRuntime
 MECHANISMS = ("gRPC.TCP", "gRPC.RDMA", "RDMA", "RDMA.cp", "RDMA.gpu",
               "RDMA+GDR", "Local")
 
-STRATEGIES = ("ps", "ring", "halving-doubling", "hierarchical")
+STRATEGIES = ("ps", "ring", "halving-doubling", "hierarchical",
+              "innetwork")
 
 TOPOLOGIES = ("flat", "fat-tree")
 
@@ -379,6 +383,10 @@ class BenchmarkResult:
     sim_events: int = 0
     #: anomaly-detector output for the run (traced runs only)
     incidents: List[Incident] = field(default_factory=list)
+    #: in-network aggregation counters (per-group rounds/chunks plus the
+    #: plane's per-switch occupancy/spill stats); None unless the run
+    #: actually built switch-aggregated collectives
+    innetwork: Optional[Dict[str, object]] = None
 
     def link_stats(self) -> Dict[str, Dict]:
         """Per-trunk-link bytes/queueing/utilization (empty when flat)."""
@@ -534,15 +542,23 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
         kwargs = {}
         if fusion_bytes is not None:
             kwargs["fusion_bytes"] = fusion_bytes
-        if strategy == "hierarchical":
+        algorithm = strategy
+        if strategy == "innetwork" and topology != "fat-tree":
+            # There is no switch to aggregate in on a flat fabric:
+            # degrade cleanly to the hierarchical host collective (same
+            # rack shape, bit-identical to asking for it directly).
+            # ``job.algorithm`` records what actually ran; the result's
+            # ``strategy`` keeps what was requested.
+            algorithm = "hierarchical"
+        if algorithm in ("hierarchical", "innetwork"):
             if rack_width is None:
                 raise ValueError(
-                    "the hierarchical strategy needs a rack shape; set "
+                    f"the {strategy} strategy needs a rack shape; set "
                     "racks= or hosts_per_rack= (or --racks/--hosts-per-rack)")
             kwargs["hosts_per_rack"] = rack_width
         job = build_allreduce_training_graph(
             spec, num_workers=num_servers, batch_size=batch_size,
-            algorithm=strategy, eager_flush=eager_flush, **kwargs)
+            algorithm=algorithm, eager_flush=eager_flush, **kwargs)
         predicted = job.bytes_per_worker_per_step
     fabric: Optional[Fabric] = None
     if topology == "fat-tree" and not local:
@@ -620,6 +636,10 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                   "batch_size": batch_size, "iterations": iterations,
                   "step_time": stats.steady_state_time},
             incidents=[incident.to_dict() for incident in incidents])
+    innetwork_snapshot = None
+    runtime = getattr(session.comm, "innetwork", None)
+    if runtime is not None:
+        innetwork_snapshot = runtime.snapshot()
     return BenchmarkResult(model=spec.name, mechanism=mechanism,
                            num_servers=num_servers, batch_size=batch_size,
                            stats=stats, strategy=strategy,
@@ -628,4 +648,5 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            worker_hosts=worker_hosts, fabric=fabric,
                            sim_horizon=cluster.sim.now,
                            sim_events=cluster.sim.event_count,
-                           incidents=incidents)
+                           incidents=incidents,
+                           innetwork=innetwork_snapshot)

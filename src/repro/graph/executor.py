@@ -28,7 +28,7 @@ from typing import Any, Deque, Dict, Generator, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..observability.tracer import executor_track
-from ..simnet.simulator import Event, Simulator
+from ..simnet.simulator import Event, Simulator, SleepUntil
 from ..simnet.topology import Host
 from .allocator import ArenaAllocator, BaseAllocator, HostAllocator
 from .dtypes import DType
@@ -250,18 +250,22 @@ class Executor:
                 continue
             node = ready.popleft()
             t0 = sim.now
-            yield sched_dispatch
-            if tracer is not None:
-                tracer.account(hostname, track, iteration, "sched",
-                               t0, sim.now, emit=False)
 
             if node.name in polling:
+                # Batched dispatch+check: a poll visit always pays
+                # sched_dispatch then poll_check back to back, so both
+                # delays ride one heap event.  The wake time replays the
+                # exact float-addition chain two separate yields would
+                # produce, keeping traced clocks bit-identical.
                 outcome = polling[node.name]
-                t0 = sim.now
-                yield poll_check
+                t1 = t0 + sched_dispatch
+                t2 = t1 + poll_check
+                yield SleepUntil(t2)
                 if tracer is not None:
+                    tracer.account(hostname, track, iteration, "sched",
+                                   t0, t1, emit=False)
                     tracer.account(hostname, track, iteration, "poll",
-                                   t0, sim.now, emit=False)
+                                   t1, t2, emit=False)
                     polls_since_park += 1
                 if not outcome.poll():
                     self.poll_misses += 1
@@ -294,6 +298,10 @@ class Executor:
                 in_flight -= 1
                 next_outcome = outcome.complete()
             else:
+                yield sched_dispatch
+                if tracer is not None:
+                    tracer.account(hostname, track, iteration, "sched",
+                                   t0, sim.now, emit=False)
                 fresh_in_queue -= 1
                 t0 = sim.now
                 next_outcome = yield from self._execute(node, feeds)
@@ -353,6 +361,15 @@ class Executor:
             return result
         if op_type == "_Recv":
             result = self.comm.execute_recv(self, node)
+            if hasattr(result, "send"):
+                result = yield from result
+            return result
+        if op_type == "InNetworkReduce":
+            # Switch-aggregated collective: like _Send/_Recv this is a
+            # comm-runtime verb, not a compute op — the runtime streams
+            # the buffer toward the ToR and hands back a polling outcome
+            # for the multicast result.
+            result = self.comm.execute_innetwork(self, node, inputs[0])
             if hasattr(result, "send"):
                 result = yield from result
             return result

@@ -77,6 +77,18 @@ class CommRuntime:
     def execute_recv(self, executor: "Executor", node: "Node") -> Outcome:
         raise NotImplementedError
 
+    def execute_innetwork(self, executor: "Executor", node: "Node",
+                          tensor: Tensor) -> Outcome:
+        """Run one worker's half of a switch-aggregated allreduce.
+
+        Only comm runtimes that drive an RDMA-capable fat-tree fabric
+        implement this; graphs containing ``InNetworkReduce`` nodes
+        cannot run on other mechanisms.
+        """
+        raise NotImplementedError(
+            f"{self.name}: in-network reduction is not supported by this "
+            f"comm runtime")
+
 
 class NullComm(CommRuntime):
     """For single-device graphs with no cross-device edges."""

@@ -173,6 +173,11 @@ def main(argv=None) -> int:
             and args.hosts_per_rack is None:
         parser.error("--topology fat-tree needs a rack shape; give "
                      "--racks or --hosts-per-rack")
+    if (args.collective or comm_config().collective) == "innetwork" \
+            and (topology or comm_config().topology) != "fat-tree":
+        parser.error("--collective innetwork aggregates gradients in the "
+                     "ToR/spine switches; add --topology fat-tree (plus "
+                     "--racks or --hosts-per-rack)")
 
     capturing = (args.trace_out is not None
                  or args.metrics_json is not None

@@ -768,6 +768,150 @@ def scale(worker_counts: Sequence[int] = (64,),
     return result
 
 
+def netreduce(worker_counts: Sequence[int] = (8, 64, 128),
+              hosts_per_rack: int = 8, oversubscription: float = 4.0,
+              models: Sequence[str] = ("GRU", "Inception-v3", "FCN-5"),
+              iterations: int = 2, batch_size: int = 1,
+              fusion_mb: float = 64.0, max_flat_ring_workers: int = 8,
+              json_path: Optional[str] = None) -> ExperimentResult:
+    """Extension: in-network reduction vs host collectives, validated.
+
+    For each model and worker count, trains on an oversubscribed fat
+    tree under three allreduce backends: the flat ring
+    (``2·M·(N-1)/N`` per-worker wire bytes), the rack-hierarchical
+    host collective, and the switch-aggregated in-network path (``M``
+    per worker: one write up to the ToR, one result back down).  Every
+    run collects wire metrics, so each cell reports its measured
+    per-worker egress against the analytic prediction — the in-network
+    cells must land within 1% of ``M`` with zero chunks spilled to the
+    host path.  The flat ring's transfer chain grows ~N× faster than
+    the others', so it only runs up to ``max_flat_ring_workers``.
+
+    The default model subset spans the zoo's size range (28 MB GRU,
+    93 MB Inception-v3 with its 196-tensor fusion stress, 205 MB
+    FCN-5).  The 512 MB VGGNet-16 is deliberately not in the default
+    sweep: the *hierarchical comparator's* per-link metrics capture at
+    128 workers scales with ``model_bytes x workers`` and costs tens
+    of GB of resident memory; run it at 8-64 workers explicitly if
+    wanted.  Pass ``json_path`` to dump the sweep — the file is
+    rewritten after every completed cell, so a long sweep that dies
+    keeps everything finished so far (CI commits the full run as
+    ``BENCH_netreduce.json`` and the regression gate's ``netreduce``
+    probe re-runs one cell against it).
+    """
+    import time as _time
+
+    result = ExperimentResult(
+        experiment="Extension: netreduce",
+        title=(f"Switch-aggregated allreduce: racks of {hosts_per_rack}, "
+               f"{oversubscription:g}:1 uplinks"),
+        columns=["benchmark", "workers", "strategy", "step_ms",
+                 "wire_mb_per_worker", "predicted_mb", "wire_err_pct",
+                 "spilled", "degraded"])
+    fusion_bytes = int(fusion_mb * MB)
+    sweep: List[Dict[str, object]] = []
+    wire_ok = True
+    beats_at_scale = True
+
+    def _dump() -> None:
+        # Rewritten after every completed cell: a multi-hour sweep
+        # that dies keeps every cell finished so far.
+        if json_path is None:
+            return
+        payload = {
+            "experiment": "netreduce",
+            "config": {"models": list(models),
+                       "worker_counts": list(worker_counts),
+                       "hosts_per_rack": hosts_per_rack,
+                       "oversubscription": oversubscription,
+                       "batch_size": batch_size,
+                       "iterations": iterations,
+                       "fusion_mb": fusion_mb,
+                       "max_flat_ring_workers": max_flat_ring_workers},
+            "sweep": sweep,
+            "innetwork_wire_within_1pct": wire_ok,
+            "innetwork_beats_hierarchical_at_64plus": beats_at_scale,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    for name in models:
+        spec = get_model(name)
+        for workers in worker_counts:
+            if workers % hosts_per_rack != 0:
+                raise ValueError(f"{workers} workers do not tile into "
+                                 f"racks of {hosts_per_rack}")
+            entry: Dict[str, object] = {
+                "model": name, "model_mb": spec.model_mb,
+                "workers": workers, "racks": workers // hosts_per_rack,
+            }
+            strategies = (("hierarchical", "innetwork")
+                          if workers > max_flat_ring_workers
+                          else ("ring", "hierarchical", "innetwork"))
+            for strategy in strategies:
+                started = _time.time()
+                bench = run_training_benchmark(
+                    spec, "RDMA", num_servers=workers,
+                    batch_size=batch_size, iterations=iterations,
+                    strategy=strategy, fusion_bytes=fusion_bytes,
+                    topology="fat-tree", hosts_per_rack=hosts_per_rack,
+                    oversubscription=oversubscription,
+                    collect_metrics=True)
+                wall = _time.time() - started
+                if bench.crashed:
+                    raise RuntimeError(f"netreduce {name}/{strategy}/"
+                                       f"n{workers} crashed: "
+                                       f"{bench.crash_reason}")
+                measured = bench.wire_bytes_per_worker() or 0.0
+                predicted = bench.predicted_wire_bytes or 0.0
+                err_pct = ((measured - predicted) / predicted * 100
+                           if predicted else 0.0)
+                spilled = degraded = 0
+                if bench.innetwork is not None:
+                    groups = [v for k, v in bench.innetwork.items()
+                              if k != "plane"]
+                    spilled = sum(g["chunks_spilled"] for g in groups)
+                    degraded = sum(g["rounds_degraded"] for g in groups)
+                record = {
+                    "step_ms": bench.step_time * 1e3,
+                    "wire_mb_per_worker": measured / MB,
+                    "predicted_wire_mb": predicted / MB,
+                    "wire_err_pct": err_pct,
+                    "chunks_spilled": spilled,
+                    "rounds_degraded": degraded,
+                    "wall_s": wall,
+                }
+                entry[strategy] = record
+                if strategy == "innetwork":
+                    wire_ok = wire_ok and abs(err_pct) <= 1.0 \
+                        and spilled == 0
+                result.add_row(name, workers, strategy,
+                               round(record["step_ms"], 3),
+                               round(record["wire_mb_per_worker"], 1),
+                               round(record["predicted_wire_mb"], 1),
+                               round(err_pct, 3), spilled, degraded)
+            hier = entry["hierarchical"]
+            innet = entry["innetwork"]
+            speedup = hier["step_ms"] / innet["step_ms"]
+            entry["innetwork_speedup_vs_hierarchical"] = speedup
+            if workers >= 64:
+                beats_at_scale = beats_at_scale and speedup > 1.0
+            result.note(f"{name} n={workers}: innetwork "
+                        f"{innet['step_ms']:.2f} ms vs hierarchical "
+                        f"{hier['step_ms']:.2f} ms ({speedup:.2f}x), "
+                        f"wire {innet['wire_mb_per_worker']:.1f} MB/worker "
+                        f"({innet['wire_err_pct']:+.3f}% vs M)")
+            sweep.append(entry)
+            _dump()
+    result.note(f"in-network wire bytes within 1% of M everywhere: "
+                f"{wire_ok}")
+    result.note(f"in-network beats hierarchical at every n>=64 cell: "
+                f"{beats_at_scale}")
+    _dump()
+    return result
+
+
 def telemetry(model: str = "FCN-5", num_servers: int = 8,
               hosts_per_rack: int = 4, batch_size: int = 32,
               iterations: int = 3, trace_sample: float = 0.05,
@@ -909,6 +1053,7 @@ ALL_EXPERIMENTS = {
     "chaos": chaos,
     "serving": serving,
     "scale": scale,
+    "netreduce": netreduce,
     "telemetry": telemetry,
 }
 
@@ -936,6 +1081,8 @@ def run_all(fast: bool = True) -> Dict[str, ExperimentResult]:
             "chaos": chaos(seeds=(0, 1)),
             "serving": serving(requests=300),
             "scale": scale(worker_counts=(32,), hosts_per_rack=8),
+            "netreduce": netreduce(worker_counts=(8,),
+                                   models=("FCN-5",), hosts_per_rack=4),
             "telemetry": telemetry(iterations=2),
         }
     return {name: fn() for name, fn in ALL_EXPERIMENTS.items()}

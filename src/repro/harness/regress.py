@@ -17,7 +17,11 @@ benchmark's configuration and comparing per-metric:
   predicted wire bytes;
 * ``serving`` — the batched serving run of ``BENCH_serving.json``:
   sustained throughput, p99 latency, completion count, and the
-  torn-serve invariant (exactly zero).
+  torn-serve invariant (exactly zero);
+* ``netreduce`` — one 64-worker cell of ``BENCH_netreduce.json``:
+  in-network vs hierarchical step times, the per-worker wire-byte
+  identity (measured egress ``== M``), the zero-spill invariant, and
+  the "in-network is faster at scale" bit.
 
 Exit status is nonzero when any gated metric regresses beyond its
 tolerance, which is what lets CI fail the build.  ``--json`` dumps
@@ -55,7 +59,7 @@ DEFAULT_OVERLAP_MODELS = ("AlexNet", "FCN-5")
 #: how many gate records --trajectory keeps in BENCH_telemetry.json
 TRAJECTORY_KEEP = 20
 
-PROBES = ("overlap", "scale", "serving")
+PROBES = ("overlap", "scale", "serving", "netreduce")
 
 
 @dataclass
@@ -263,8 +267,68 @@ def probe_serving(report: GateReport, baseline_dir: str,
                              f"(invariant: 0)")
 
 
+def probe_netreduce(report: GateReport, baseline_dir: str,
+                    tolerance: float, workers: int = 64) -> None:
+    """Re-run one in-network cell of the netreduce sweep."""
+    from ..distributed.runner import run_training_benchmark
+
+    baseline = _load_baseline(baseline_dir, "BENCH_netreduce.json")
+    if baseline is None:
+        report.errors.append("netreduce: no BENCH_netreduce.json baseline")
+        return
+    config = baseline["config"]
+    entry = next((e for e in baseline["sweep"]
+                  if e["workers"] == workers and "innetwork" in e), None)
+    if entry is None:
+        report.errors.append(f"netreduce: no innetwork baseline at "
+                             f"n={workers}")
+        return
+    model = str(entry["model"])
+    spec = get_model(model)
+    common = dict(num_servers=workers, batch_size=config["batch_size"],
+                  iterations=config["iterations"],
+                  fusion_bytes=int(config["fusion_mb"] * MB),
+                  topology="fat-tree",
+                  hosts_per_rack=config["hosts_per_rack"],
+                  oversubscription=config["oversubscription"],
+                  collect_metrics=True)
+    fresh = {}
+    for strategy in ("hierarchical", "innetwork"):
+        bench = run_training_benchmark(spec, "RDMA", strategy=strategy,
+                                       **common)
+        if bench.crashed:
+            report.errors.append(f"netreduce: {model}/{strategy}/"
+                                 f"n{workers} crashed: "
+                                 f"{bench.crash_reason}")
+            return
+        fresh[strategy] = bench
+        report.add(Check("netreduce",
+                         f"{model}.n{workers}.{strategy}_step_ms",
+                         entry[strategy]["step_ms"],
+                         bench.step_time * 1e3, "lower_better", tolerance))
+    innet = fresh["innetwork"]
+    # The wire-byte identity is exact in the simulator, so the match
+    # tolerance here guards the accounting, not the schedule.
+    report.add(Check("netreduce", f"{model}.n{workers}.innetwork_wire_mb",
+                     entry["innetwork"]["wire_mb_per_worker"],
+                     (innet.wire_bytes_per_worker() or 0.0) / MB,
+                     "match", tolerance))
+    groups = [v for k, v in (innet.innetwork or {}).items()
+              if k != "plane"]
+    spilled = sum(g["chunks_spilled"] for g in groups)
+    if spilled:
+        report.errors.append(f"netreduce: {spilled} chunks spilled to the "
+                             f"host path (baseline: 0)")
+    if entry.get("innetwork_speedup_vs_hierarchical", 0) > 1.0 and \
+            not innet.step_time < fresh["hierarchical"].step_time:
+        report.errors.append(
+            f"netreduce: in-network no longer faster than hierarchical "
+            f"at n={workers} ({innet.step_time * 1e3:.3f} ms vs "
+            f"{fresh['hierarchical'].step_time * 1e3:.3f} ms)")
+
+
 _PROBE_FNS = {"overlap": probe_overlap, "scale": probe_scale,
-              "serving": probe_serving}
+              "serving": probe_serving, "netreduce": probe_netreduce}
 
 
 # -- trajectory ------------------------------------------------------------------------

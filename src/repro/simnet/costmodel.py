@@ -92,6 +92,25 @@ class CostModel:
     #: event count stays bounded)
     wire_max_quanta: int = 8
 
+    # ---- in-network (switch) aggregation ----
+    #: aggregation buffer slots per ToR/spine switch; each slot holds
+    #: one in-flight chunk of one reduction group.  When every slot is
+    #: busy the excess chunk spills to the host-collective path.  Only
+    #: the aggregation plane reads these — flat-topology and
+    #: host-collective timing is untouched by the defaults.
+    switch_agg_slots: int = 128
+    #: bytes per aggregation slot = the chunk granularity workers use
+    #: when streaming a fusion bucket through the switches
+    switch_agg_slot_bytes: int = 256 * KB
+    #: per-chunk combine latency once every contribution has arrived
+    #: (the switch reduces at line rate; this is the pipeline drain)
+    switch_agg_latency: float = 0.25e-6
+    #: per-worker send window: how many chunks of one reduction group a
+    #: worker may have posted beyond its delivered results (SwitchML's
+    #: slot-pool streaming discipline).  Bounds switch occupancy while
+    #: covering the chunk round-trip so the access link stays saturated.
+    switch_agg_window: int = 8
+
     # ---- GPU (Tesla P100 over PCIe 3.0 x16) ----
     pcie_bandwidth: float = 10e9               # host<->device staging copy
     pcie_base: float = 5.0e-6                  # cudaMemcpy launch

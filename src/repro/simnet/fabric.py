@@ -326,6 +326,360 @@ class Fabric:
                 f"{kinds['spine']} spines, {len(self.links)} links)")
 
 
+class SwitchAggregator:
+    """Bounded aggregation engine of one programmable switch.
+
+    Models the scarce resource of NetReduce-style in-network reduction:
+    a switch can hold only ``slots`` chunk-sized aggregation buffers at
+    once.  A reduction *reserves* a slot for a chunk's whole residency
+    (contributions streaming in, combine, result streaming out) and the
+    plane spills chunks to the host-collective path when no slot is
+    free — the backpressure the paper's switch prototype exerts via
+    credits.
+    """
+
+    __slots__ = ("name", "slots", "busy", "peak_occupancy",
+                 "chunks_aggregated", "bytes_aggregated", "spills")
+
+    def __init__(self, name: str, slots: int) -> None:
+        if slots < 1:
+            raise FabricError(f"switch {name!r} needs at least one "
+                              f"aggregation slot, got {slots}")
+        self.name = name
+        self.slots = slots
+        self.busy = 0
+        self.peak_occupancy = 0
+        self.chunks_aggregated = 0
+        self.bytes_aggregated = 0
+        self.spills = 0
+
+    def try_acquire(self) -> bool:
+        if self.busy >= self.slots:
+            self.spills += 1
+            return False
+        self.busy += 1
+        if self.busy > self.peak_occupancy:
+            self.peak_occupancy = self.busy
+        return True
+
+    def release(self) -> None:
+        if self.busy <= 0:
+            raise FabricError(f"switch {self.name!r} released an idle slot")
+        self.busy -= 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "slots": self.slots,
+            "peak_occupancy": self.peak_occupancy,
+            "chunks_aggregated": self.chunks_aggregated,
+            "bytes_aggregated": self.bytes_aggregated,
+            "spills": self.spills,
+        }
+
+
+class _GroupPlan:
+    """Static layout of one in-network reduction group."""
+
+    __slots__ = ("group_id", "member_hosts", "hosts_per_rack", "racks",
+                 "tors", "member_rack", "deliver", "spines")
+
+    def __init__(self, group_id: str, member_hosts: Sequence[str],
+                 hosts_per_rack: int, racks: List[List[int]],
+                 tors: List[str], spines: List[str], deliver) -> None:
+        self.group_id = group_id
+        self.member_hosts = list(member_hosts)
+        self.hosts_per_rack = hosts_per_rack
+        self.racks = racks
+        self.tors = tors                    # tor name per rack index
+        self.spines = spines                # spine names (striping pool)
+        self.deliver = deliver
+        self.member_rack = {}
+        for rack_index, members in enumerate(racks):
+            for m in members:
+                self.member_rack[m] = rack_index
+
+    def spine_for(self, chunk_index: int) -> str:
+        index = zlib.crc32(
+            f"{self.group_id}|{chunk_index}".encode()) % len(self.spines)
+        return self.spines[index]
+
+    def switch_names(self) -> List[str]:
+        names = list(self.tors)
+        if len(self.racks) > 1:
+            names.extend(self.spines)
+        return names
+
+
+class _ChunkState:
+    """In-flight aggregation state of one (round, chunk)."""
+
+    __slots__ = ("arrivals", "holds")
+
+    def __init__(self) -> None:
+        #: rack index -> list of (member_index, payload, arrival_time)
+        self.arrivals: Dict[int, List[Tuple[int, object, float]]] = {}
+        #: switch names whose slot this chunk holds
+        self.holds: List[str] = []
+
+
+class AggregationPlane:
+    """Switch-side model of NetReduce-style in-network reduction.
+
+    Owns one :class:`SwitchAggregator` per ToR/spine and turns member
+    chunk arrivals into a reduced result delivered back to every
+    member:
+
+    1. the sending protocol *reserves* a chunk — one slot on every ToR
+       the group spans plus one on the striped spine; failure spills
+       that chunk to the host-collective path (backpressure);
+    2. each member's chunk arrival is announced via
+       :meth:`chunk_arrival`; when a rack's last contribution lands,
+       its partial is ready ``switch_agg_latency`` later;
+    3. multi-rack groups book the ToR->spine trunk pipe for each rack
+       partial, combine at the spine, and book the spine->ToR pipes for
+       the multicast down; the group's ``deliver`` callback fires once
+       per member with the time the result clears that member's ToR
+       (the host access hop and ingress booking stay the caller's job,
+       exactly as :meth:`Fabric.traverse` divides labour with the NIC).
+
+    Numeric payloads are combined in member-index order within a rack
+    and rack-index order across racks — the same order the host-tree
+    fallback uses, so a spilled chunk is bit-identical to a switched
+    one.
+    """
+
+    def __init__(self, sim, fabric: Fabric, cost: Optional[CostModel] = None,
+                 metrics=None, fault_plane=None) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.cost = cost or fabric.cost
+        self.metrics = metrics
+        self.fault_plane = fault_plane
+        self.aggregators: Dict[str, SwitchAggregator] = {}
+        for node in fabric.nodes.values():
+            if node.kind in ("tor", "spine"):
+                self.aggregators[node.name] = SwitchAggregator(
+                    node.name, self.cost.switch_agg_slots)
+        self._groups: Dict[str, _GroupPlan] = {}
+        self._chunks: Dict[Tuple[str, int, int], _ChunkState] = {}
+        #: chunks denied a slot and spilled to the host path, per group
+        self.spilled_chunks: Dict[str, int] = {}
+        #: groups degraded to the host path by a switch failure
+        self.degraded_groups: List[str] = []
+
+    # -- group setup -------------------------------------------------------------
+
+    def register_group(self, group_id: str, member_hosts: Sequence[str],
+                       hosts_per_rack: int, deliver) -> None:
+        """Declare a reduction group and its result callback.
+
+        ``deliver(chunk_index=..., round_id=..., members=..., ready=...,
+        payload=..., size=...)`` fires once per rack when the reduced
+        chunk clears that rack's ToR: ``members`` is the list of member
+        indices behind the ToR, ``ready`` the time the chunk is
+        available at the ToR's downlink ports, and ``payload`` the
+        combined numpy array (None when any contribution was virtual).
+        """
+        if group_id in self._groups:
+            raise FabricError(f"duplicate reduction group {group_id!r}")
+        for host in member_hosts:
+            node = self.fabric.nodes.get(host)
+            if node is None or node.kind != "host":
+                raise FabricError(f"group member {host!r} is not a fabric "
+                                  f"host")
+        racks = rack_groups(len(member_hosts), hosts_per_rack)
+        tors = []
+        for members in racks:
+            first = member_hosts[members[0]]
+            tor = next((n for n in self.fabric._adjacency[first]
+                        if self.fabric.nodes[n].kind == "tor"), None)
+            if tor is None:
+                raise FabricError(f"host {first!r} has no ToR uplink")
+            tors.append(tor)
+        spines = [n.name for n in self.fabric.nodes.values()
+                  if n.kind == "spine"]
+        if len(racks) > 1 and not spines:
+            raise FabricError(f"group {group_id!r} spans {len(racks)} racks "
+                              f"but the fabric has no spine tier")
+        self._groups[group_id] = _GroupPlan(
+            group_id, member_hosts, hosts_per_rack, racks, tors, spines,
+            deliver)
+
+    def healthy(self, group_id: str, now: float) -> bool:
+        """Whether every switch the group relies on can aggregate now.
+
+        A failed switch degrades the *whole group* to the host path
+        (the protocol re-checks per round, so recovery windows heal).
+        """
+        plan = self._groups[group_id]
+        if self.fault_plane is None:
+            return True
+        for name in plan.switch_names():
+            if self.fault_plane.switch_failed(name, now):
+                if group_id not in self.degraded_groups:
+                    self.degraded_groups.append(group_id)
+                return False
+        return True
+
+    # -- chunk lifecycle ----------------------------------------------------------
+
+    def reserve_chunk(self, group_id: str, round_id: int, chunk_index: int,
+                      size: int) -> bool:
+        """Acquire aggregation slots for one chunk, all switches or none.
+
+        Called before the members post the chunk; False means the
+        switches are out of slots and this chunk must take the
+        host-collective path (backpressure spill).
+        """
+        plan = self._groups[group_id]
+        needed = list(plan.tors)
+        if len(plan.racks) > 1:
+            needed.append(plan.spine_for(chunk_index))
+        acquired: List[str] = []
+        for name in needed:
+            if self.aggregators[name].try_acquire():
+                acquired.append(name)
+            else:
+                for held in acquired:
+                    self.aggregators[held].release()
+                self.spilled_chunks[group_id] = (
+                    self.spilled_chunks.get(group_id, 0) + 1)
+                return False
+        state = _ChunkState()
+        state.holds = acquired
+        self._chunks[(group_id, round_id, chunk_index)] = state
+        for name in needed:
+            agg = self.aggregators[name]
+            agg.chunks_aggregated += 1
+            agg.bytes_aggregated += size
+        return True
+
+    def chunk_arrival(self, group_id: str, round_id: int, chunk_index: int,
+                      member_index: int, size: int, payload,
+                      now: float) -> None:
+        """One member's contribution reached its ToR at ``now``."""
+        plan = self._groups[group_id]
+        key = (group_id, round_id, chunk_index)
+        state = self._chunks.get(key)
+        if state is None:
+            raise FabricError(f"chunk {key!r} arrived without a reservation")
+        rack = plan.member_rack[member_index]
+        state.arrivals.setdefault(rack, []).append(
+            (member_index, payload, now))
+        total = sum(len(v) for v in state.arrivals.values())
+        if total == len(plan.member_hosts):
+            del self._chunks[key]
+            self._complete_chunk(plan, round_id, chunk_index, size, state)
+
+    def _complete_chunk(self, plan: _GroupPlan, round_id: int,
+                        chunk_index: int, size: int,
+                        state: _ChunkState) -> None:
+        cost = self.cost
+        sim = self.sim
+        # Rack partials: member-index order, ready one combine latency
+        # after the rack's last contribution.
+        partials: List[Tuple[int, object, float]] = []
+        for rack_index in range(len(plan.racks)):
+            entries = sorted(state.arrivals[rack_index])
+            payload = self._combine([e[1] for e in entries])
+            ready = max(e[2] for e in entries) + cost.switch_agg_latency
+            partials.append((rack_index, payload, ready))
+
+        if len(plan.racks) == 1:
+            rack_index, payload, ready = partials[0]
+            self._release_at(state.holds, ready)
+            plan.deliver(chunk_index=chunk_index, round_id=round_id,
+                         members=plan.racks[0], ready=ready,
+                         payload=payload, size=size)
+            return
+
+        # Up: each rack partial crosses its ToR->spine trunk link.  The
+        # ToR's aggregation slot frees as soon as the partial has left
+        # it — the down-leg multicast streams through the egress ports
+        # without touching accumulator memory.
+        spine = plan.spine_for(chunk_index)
+        arrivals: List[Tuple[int, object, float]] = []
+        for rack_index, payload, ready in partials:
+            link = self.fabric.links[(plan.tors[rack_index], spine)]
+            start, end = self._book_trunk(link, ready, size)
+            arrivals.append((rack_index, payload, end + link.latency))
+            self._record(link, size, start, end + link.latency)
+            self._release_one_at(plan.tors[rack_index], end, state)
+        combined = self._combine([p for _, p, _ in sorted(arrivals)])
+        result_ready = (max(t for _, _, t in arrivals)
+                        + cost.switch_agg_latency)
+
+        # Down: the spine multicasts the result over every spine->ToR
+        # trunk; a rack's members see it once it clears their ToR.
+        spine_free = result_ready
+        for rack_index in range(len(plan.racks)):
+            link = self.fabric.links[(spine, plan.tors[rack_index])]
+            start, end = self._book_trunk(link, result_ready, size)
+            at_tor = end + link.latency
+            self._record(link, size, start, at_tor)
+            spine_free = max(spine_free, end)
+            plan.deliver(chunk_index=chunk_index, round_id=round_id,
+                         members=plan.racks[rack_index], ready=at_tor,
+                         payload=combined, size=size)
+        self._release_one_at(spine, spine_free, state)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _book_trunk(self, link: FabricLink, earliest: float,
+                    size: int) -> Tuple[float, float]:
+        start, end = link.pipe.reserve(earliest, size)
+        link.bytes_carried += size
+        link.transfers += 1
+        waited = start - earliest
+        if waited > 0:
+            link.queue_seconds += waited
+            if self.fabric.tracer is not None:
+                self.fabric.tracer.record(
+                    "link_queue", f"{size}B queued", "fabric",
+                    f"link:{link.name}", earliest, start,
+                    args={"src": link.src.name, "dst": link.dst.name,
+                          "nbytes": size})
+        return start, end
+
+    def _record(self, link: FabricLink, size: int, start: float,
+                end: float) -> None:
+        if self.metrics is not None:
+            self.metrics.record_transfer(
+                "RDMA_WRITE", link.src.name, link.dst.name, size,
+                start, end, role="in-network-trunk")
+
+    @staticmethod
+    def _combine(payloads: List[object]):
+        """Element-wise sum, None when any contribution is virtual."""
+        if any(p is None for p in payloads):
+            return None
+        result = payloads[0].copy()
+        for payload in payloads[1:]:
+            result += payload
+        return result
+
+    def _release_at(self, names: List[str], when: float) -> None:
+        for name in list(names):
+            self.sim.call_at(when, self.aggregators[name].release)
+
+    def _release_one_at(self, name: str, when: float,
+                        state: _ChunkState) -> None:
+        if name in state.holds:
+            state.holds.remove(name)
+            self.sim.call_at(when, self.aggregators[name].release)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able per-switch and per-group aggregation counters."""
+        return {
+            "switches": {name: agg.stats()
+                         for name, agg in sorted(self.aggregators.items())},
+            "spilled_chunks": dict(self.spilled_chunks),
+            "degraded_groups": list(self.degraded_groups),
+        }
+
+
 def rack_of(host_index: int, hosts_per_rack: int) -> int:
     """Rack index of the ``host_index``-th host (fill racks in order)."""
     if hosts_per_rack < 1:

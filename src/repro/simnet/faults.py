@@ -23,6 +23,12 @@ the NIC on every posted data verb and renders a :class:`FaultVerdict`:
 * ``straggler`` — a transient slowdown: the verb departs ``delay``
   seconds late but succeeds (can push a transfer past the recovery
   layer's timeout, making spurious retries reachable in tests).
+* ``switch_fail`` — a ToR/spine switch loses its aggregation engine
+  for the time window: in-network reductions touching it degrade to
+  the host-collective fallback.  Never consulted on the verb path —
+  the aggregation plane queries :meth:`FaultInjector.switch_failed`
+  instead, and ``host=`` addresses the *switch* name (``tor0``,
+  ``spine1``; unset matches every switch).
 
 All randomness comes from one seeded ``random.Random``; draws happen in
 verb post order, which the simulator makes deterministic, so a fault
@@ -38,16 +44,19 @@ the transfer protocols.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .verbs import WcStatus, WorkRequest
 
 
 #: fault kinds that terminate the verb (at most one fires per post)
 TERMINAL_KINDS = ("drop", "blackhole", "partial", "qp_break", "flap")
-#: all spec-addressable kinds, including the additive straggler delay
-FAULT_KINDS = TERMINAL_KINDS + ("straggler",)
+#: all spec-addressable kinds: the additive straggler delay plus the
+#: switch-plane ``switch_fail`` (queried by the aggregation plane, never
+#: rendered on the verb path)
+FAULT_KINDS = TERMINAL_KINDS + ("straggler", "switch_fail")
 
 
 class FaultSpecError(ValueError):
@@ -198,6 +207,8 @@ class FaultInjector:
         #: chronological log of every injected fault (dicts, so a
         #: ``RunStats.faults`` snapshot is JSON-able and comparable)
         self.injected: List[Dict[str, object]] = []
+        #: cached per-(rule, switch) draws for ``switch_fail`` rules
+        self._switch_draws: Dict[Tuple[int, str], bool] = {}
 
     @classmethod
     def from_spec(cls, spec: str, seed: int = 0) -> "FaultInjector":
@@ -228,6 +239,8 @@ class FaultInjector:
         delay = 0.0
         terminal: Optional[FaultRule] = None
         for rule in self.rules:
+            if rule.kind == "switch_fail":
+                continue  # switch-plane rules never touch the verb path
             if rule.exhausted() or not rule.matches(now, host, wr.role):
                 continue
             rule.seen += 1
@@ -267,6 +280,46 @@ class FaultInjector:
                           args={"kind": rule.kind, "role": wr.role,
                                 "wr_id": wr.wr_id, "size": wr.size})
             tracer.metrics.counter("faults_injected").add(1)
+
+    def switch_failed(self, name: str, now: float) -> bool:
+        """Whether switch ``name`` has lost its aggregation engine.
+
+        ``switch_fail`` rules address switches via ``host=`` (the
+        switch's node name; unset matches every switch) inside the
+        usual ``[after, until)`` window.  Each (rule, switch) pair gets
+        one probability draw, cached for the run and seeded from
+        ``(seed, rule, switch)`` independently of the verb-fault RNG —
+        querying the plane never perturbs the verb fault schedule.
+        """
+        if not self.rules:
+            return False
+        failed = False
+        for index, rule in enumerate(self.rules):
+            if rule.kind != "switch_fail":
+                continue
+            if not rule.after <= now < rule.until:
+                continue
+            if rule.host is not None and rule.host != name:
+                continue
+            key = (index, name)
+            verdict = self._switch_draws.get(key)
+            if verdict is None:
+                if rule.exhausted():
+                    continue
+                draw = random.Random(
+                    self.seed * 1000003
+                    + zlib.crc32(f"{index}|{name}".encode()))
+                verdict = draw.random() < rule.probability
+                self._switch_draws[key] = verdict
+                if verdict:
+                    rule.fired += 1
+                    self.injected.append({
+                        "time": now, "kind": "switch_fail", "host": name,
+                        "role": "in-network-aggregate", "opcode": "switch",
+                        "size": 0,
+                    })
+            failed = failed or verdict
+        return failed
 
     # -- reporting ---------------------------------------------------------------
 

@@ -111,6 +111,22 @@ class Timeout(Event):
         sim._schedule_event(self, delay=delay)
 
 
+class SleepUntil:
+    """Yieldable sentinel: sleep until an *absolute* simulated time.
+
+    Unlike a bare-delay yield (which the engine adds to ``sim.now``),
+    the wake-up lands at exactly ``when`` — the caller controls the
+    float-addition chain that produced the target, so two delays whose
+    sum is known in advance can be merged into a single heap event
+    without perturbing bit-identical clocks.
+    """
+
+    __slots__ = ("when",)
+
+    def __init__(self, when: float) -> None:
+        self.when = when
+
+
 class Process(Event):
     """A running generator coroutine; also an event that fires on return.
 
@@ -196,6 +212,24 @@ class Process(Event):
                 self.generator.close()
                 self.fail(SimulationError(
                     f"process {self.name!r} yielded negative delay {target!r}"))
+                return
+            if type(target) is SleepUntil:
+                # Absolute-time variant of the fast path above: the
+                # wake-up lands at exactly ``target.when``.
+                when = target.when
+                if when >= self.sim._now:
+                    self._wait_token = token = self._wait_token + 1
+                    sim = self.sim
+                    sim._seq += 1
+                    heapq.heappush(
+                        sim._queue,
+                        (when, sim._seq, None,
+                         lambda: self._delay_wake(token)))
+                    return
+                self.generator.close()
+                self.fail(SimulationError(
+                    f"process {self.name!r} slept until {when!r}, "
+                    f"already past {self.sim._now!r}"))
                 return
             self.generator.close()
             self.fail(SimulationError(

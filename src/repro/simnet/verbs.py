@@ -62,6 +62,14 @@ ROLE_WEIGHT_PUBLISH = "weight-publish"
 ROLE_WEIGHT_STAMP = "weight-stamp"
 ROLE_WEIGHT_ACK = "weight-ack"
 ROLE_TRAIN_SYNC = "train-sync"
+#: in-network reduction: worker -> ToR gradient-chunk contributions …
+ROLE_INNETWORK_AGGREGATE = "in-network-aggregate"
+#: … and the switch-multicast reduced result back down to the workers
+ROLE_INNETWORK_RESULT = "in-network-result"
+#: switch-to-switch hops of an in-network reduction (ToR partials up to
+#: the spine, spine results back down) — kept distinct from the
+#: host-edge roles so per-worker wire-byte identities stay clean
+ROLE_INNETWORK_TRUNK = "in-network-trunk"
 
 #: wire-scheduler urgency tiers for co-located serving + training.
 #: Gradient buckets use small non-negative priorities (bucket index),

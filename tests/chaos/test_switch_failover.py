@@ -1,0 +1,132 @@
+"""Seeded switch-failure sweep: every seed must converge via fallback.
+
+The in-network collective leans on switch state, so its failure story
+gets its own chaos surface: ``switch-fail`` rules kill ToR/spine
+aggregation engines (probabilistically, per seed) and every round that
+sees an unhealthy switch must detour down the host-collective tree.
+For each seed the faulted run must
+
+* produce **bit-identical numerics** to the fault-free run — the
+  fallback combines in the same member/rack order as the switches, so
+  a detour may only ever cost time, and
+* keep a **bounded retry cost**: each gradient byte crosses each tree
+  edge at most once per round, so a fully-degraded round moves exactly
+  ``2·(N-1)·M`` bytes and a switched round exactly ``N·M`` up plus
+  ``N·M`` back down — there is no retry storm in between.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import innetwork_allreduce
+from repro.core import RdmaCommRuntime
+from repro.graph import GraphBuilder, Session
+from repro.simnet import Cluster, FaultInjector
+from repro.simnet.fabric import build_fat_tree
+from repro.simnet.verbs import (ROLE_COLLECTIVE_CHUNK,
+                                ROLE_INNETWORK_AGGREGATE)
+
+SEEDS = list(range(12))
+
+#: every switch (ToRs and spines) independently loses its aggregation
+#: engine with p=0.5 — across the seed sweep this covers all-healthy,
+#: partially-failed, and fully-failed fabrics
+SWEEP_SPEC = "switch-fail:p=0.5"
+
+N, HOSTS_PER_RACK, SIZE = 8, 4, 6000
+ITERATIONS = 2
+
+
+def _run(fault_spec=None, seed=0, iterations=ITERATIONS):
+    rng = np.random.default_rng(seed=4242)
+    arrays = [rng.integers(-8, 8, size=SIZE).astype(np.float32)
+              for _ in range(N)]
+    builder = GraphBuilder(f"chaos{N}x{HOSTS_PER_RACK}")
+    devices = [f"worker{i}" for i in range(N)]
+    inputs = [builder.constant(np.asarray(a, dtype=np.float32),
+                               name=f"in{i}", device=dev)
+              for i, (a, dev) in enumerate(zip(arrays, devices))]
+    outputs = innetwork_allreduce(builder, inputs, devices,
+                                  hosts_per_rack=HOSTS_PER_RACK)
+    fabric = build_fat_tree(N, HOSTS_PER_RACK)
+    cluster = Cluster(N, fabric=fabric)
+    cluster.enable_metrics()
+    if fault_spec:
+        cluster.install_faults(FaultInjector.from_spec(fault_spec,
+                                                       seed=seed))
+    hosts = {dev: cluster.hosts[i] for i, dev in enumerate(devices)}
+    session = Session(cluster, builder.finalize(), hosts,
+                      comm=RdmaCommRuntime())
+    session.run(iterations=iterations)
+    results = [session.numpy(out.node.name, out.index).tobytes()
+               for out in outputs]
+    expected = np.sum(arrays, axis=0)
+    return results, expected, session, cluster
+
+
+@pytest.fixture(scope="module")
+def clean():
+    results, expected, session, cluster = _run()
+    for raw in results:
+        np.testing.assert_array_equal(np.frombuffer(raw, np.float32),
+                                      expected)
+    return results, cluster.sim.now
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_switch_failure_converges_bit_identically(seed, clean):
+    clean_results, _ = clean
+    results, _, session, cluster = _run(SWEEP_SPEC, seed=seed)
+    assert results == clean_results
+
+    snap = session.comm.innetwork.snapshot()["innet"]
+    assert snap["rounds_switched"] + snap["rounds_degraded"] == ITERATIONS
+
+    # Bounded retry cost: each round's wire volume is pinned by which
+    # path it took — no chunk is ever sent twice on the same path.
+    M = SIZE * 4
+    roles = {}
+    for t in cluster.metrics.transfers:
+        roles[t.role] = roles.get(t.role, 0) + t.nbytes
+    assert roles.get(ROLE_INNETWORK_AGGREGATE, 0) == \
+        snap["rounds_switched"] * N * M
+    assert roles.get(ROLE_COLLECTIVE_CHUNK, 0) == \
+        snap["rounds_degraded"] * 2 * (N - 1) * M
+
+    injector = cluster.fault_plane
+    if snap["rounds_degraded"]:
+        assert injector.counts_by_kind().get("switch_fail", 0) > 0
+
+
+def test_sweep_covers_both_paths():
+    # The point of sweeping seeds: p=0.5 must produce both healthy
+    # rounds (switch path) and degraded rounds (host tree) somewhere.
+    switched = degraded = 0
+    for seed in SEEDS:
+        _, _, session, _ = _run(SWEEP_SPEC, seed=seed, iterations=1)
+        snap = session.comm.innetwork.snapshot()["innet"]
+        switched += snap["rounds_switched"]
+        degraded += snap["rounds_degraded"]
+    assert switched > 0 and degraded > 0
+
+
+def test_failure_window_heals():
+    # A failure window that closes between rounds: the first round
+    # degrades, the second finds the fabric healthy and re-enables
+    # switch aggregation — degradation is per-round, not sticky.
+    _, _, healthy_session, healthy_cluster = _run(iterations=1)
+    t_switch = healthy_cluster.sim.now
+    _, _, degraded_session, degraded_cluster = _run(
+        "switch-fail:host=tor0,p=1.0", seed=1, iterations=1)
+    t_tree = degraded_cluster.sim.now
+    assert t_tree > t_switch  # the detour costs time, never correctness
+
+    until = (t_switch + t_tree) / 2
+    results, expected, session, _ = _run(
+        f"switch-fail:host=tor0,p=1.0,until={until:.9f}", seed=1)
+    for raw in results:
+        np.testing.assert_array_equal(np.frombuffer(raw, np.float32),
+                                      expected)
+    snap = session.comm.innetwork.snapshot()["innet"]
+    assert snap["rounds_degraded"] == 1
+    assert snap["rounds_switched"] == 1

@@ -128,9 +128,13 @@ class TestScheduleConstruction:
 class TestRunnerStrategies:
     @pytest.mark.parametrize("strategy", ALLREDUCE_ALGORITHMS)
     def test_runs_and_reports_wire_bytes(self, fcn5, strategy):
-        # hierarchical needs a rack shape; 1-wide racks degenerate to a
-        # flat inter-rack exchange with the same wire volume as ring.
-        extra = {"hosts_per_rack": 1} if strategy == "hierarchical" else {}
+        # hierarchical/innetwork need a rack shape; 1-wide racks
+        # degenerate to a flat inter-rack exchange with the same wire
+        # volume as ring.  On the default flat topology the innetwork
+        # strategy falls back to hierarchical, and its prediction
+        # follows the algorithm that actually ran.
+        extra = ({"hosts_per_rack": 1}
+                 if strategy in ("hierarchical", "innetwork") else {})
         result = run_training_benchmark(
             fcn5, "RDMA", num_servers=2, batch_size=8, iterations=3,
             strategy=strategy, collect_metrics=True, **extra)
@@ -169,7 +173,7 @@ class TestRunnerStrategies:
 
     def test_strategies_tuple(self):
         assert STRATEGIES == ("ps", "ring", "halving-doubling",
-                              "hierarchical")
+                              "hierarchical", "innetwork")
 
 
 class TestCommConfig:

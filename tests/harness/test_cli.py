@@ -175,6 +175,47 @@ class TestTelemetryFlags:
         assert payload["incident_total"] == 0  # healthy run, no incidents
 
 
+class TestCollectiveFlags:
+    def teardown_method(self):
+        from repro.distributed import reset_comm_config
+        reset_comm_config()
+
+    def test_innetwork_requires_fat_tree(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--collective", "innetwork", "table2"])
+        err = capsys.readouterr().err
+        assert "--collective innetwork" in err
+        assert "fat-tree" in err
+
+    def test_innetwork_with_flat_topology_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--collective", "innetwork", "--topology", "flat",
+                  "table2"])
+        assert "fat-tree" in capsys.readouterr().err
+
+    def test_innetwork_on_fat_tree_accepted(self, capsys):
+        from repro.distributed import comm_config
+        assert main(["--collective", "innetwork", "--topology", "fat-tree",
+                     "--hosts-per-rack", "4", "table2"]) == 0
+        config = comm_config()
+        assert config.collective == "innetwork"
+        assert config.topology == "fat-tree"
+        assert config.hosts_per_rack == 4
+
+    def test_configured_innetwork_default_still_checked(self, capsys):
+        # The cross-check consults the configured default, not just the
+        # flag: a session-level innetwork collective on a flat topology
+        # is the same mistake.
+        from repro.distributed import configure_comm
+        configure_comm(collective="innetwork")
+        with pytest.raises(SystemExit):
+            main(["table2"])
+        assert "fat-tree" in capsys.readouterr().err
+
+    def test_other_collectives_unaffected(self, capsys):
+        assert main(["--collective", "hierarchical", "table2"]) == 0
+
+
 class TestServingFlags:
     def teardown_method(self):
         from repro.serving import reset_serving_config

@@ -8,7 +8,7 @@ import pytest
 
 from repro.harness import regress
 from repro.harness.regress import (Check, GateReport, append_trajectory,
-                                   main, probe_overlap)
+                                   main, probe_netreduce, probe_overlap)
 
 
 class TestCheckEvaluate:
@@ -157,6 +157,109 @@ class TestOverlapProbeEndToEnd:
                       models=("NotAModel",))
         assert report.errors \
             == ["overlap: model 'NotAModel' not in baseline"]
+
+
+def _fresh_netreduce_baseline(model="GRU", workers=8, hosts_per_rack=4):
+    """Run the netreduce probe workloads once and return a baseline."""
+    from repro.distributed.runner import run_training_benchmark
+    from repro.models.zoo import get_model
+    from repro.simnet.costmodel import MB
+
+    config = {"models": [model], "worker_counts": [workers],
+              "hosts_per_rack": hosts_per_rack, "oversubscription": 4.0,
+              "batch_size": 8, "iterations": 2, "fusion_mb": 8,
+              "max_flat_ring_workers": 0}
+    entry = {"model": model, "workers": workers,
+             "racks": workers // hosts_per_rack}
+    common = dict(num_servers=workers, batch_size=8, iterations=2,
+                  fusion_bytes=8 * MB, topology="fat-tree",
+                  hosts_per_rack=hosts_per_rack, oversubscription=4.0,
+                  collect_metrics=True)
+    for strategy in ("hierarchical", "innetwork"):
+        bench = run_training_benchmark(get_model(model), "RDMA",
+                                       strategy=strategy, **common)
+        entry[strategy] = {
+            "step_ms": bench.step_time * 1e3,
+            "wire_mb_per_worker": bench.wire_bytes_per_worker() / MB,
+        }
+    entry["innetwork_speedup_vs_hierarchical"] = \
+        (entry["hierarchical"]["step_ms"] / entry["innetwork"]["step_ms"])
+    return {"config": config, "sweep": [entry]}
+
+
+@pytest.fixture(scope="module")
+def netreduce_baseline():
+    return _fresh_netreduce_baseline()
+
+
+class TestNetreduceProbeEndToEnd:
+    def test_matching_baseline_passes(self, netreduce_baseline, tmp_path):
+        (tmp_path / "BENCH_netreduce.json").write_text(
+            json.dumps(netreduce_baseline))
+        report = GateReport()
+        probe_netreduce(report, str(tmp_path), tolerance=0.05, workers=8)
+        assert report.errors == []
+        assert len(report.checks) == 3
+        # determinism: the rerun reproduces the baseline exactly
+        assert all(c.verdict == "ok" and c.fresh == c.baseline
+                   for c in report.checks)
+        assert report.ok
+
+    def test_perturbed_step_time_regresses(self, netreduce_baseline,
+                                           tmp_path):
+        doctored = json.loads(json.dumps(netreduce_baseline))
+        # pretend the committed in-network run was 20% faster
+        doctored["sweep"][0]["innetwork"]["step_ms"] *= 0.8
+        (tmp_path / "BENCH_netreduce.json").write_text(
+            json.dumps(doctored))
+        report = GateReport()
+        probe_netreduce(report, str(tmp_path), tolerance=0.05, workers=8)
+        assert [c.metric for c in report.regressions] \
+            == ["GRU.n8.innetwork_step_ms"]
+        assert not report.ok
+
+    def test_wire_drift_regresses_both_directions(self, netreduce_baseline,
+                                                  tmp_path):
+        # Fewer wire bytes is not an improvement here: the identity is
+        # exact, so any drift means the collective changed shape.
+        doctored = json.loads(json.dumps(netreduce_baseline))
+        doctored["sweep"][0]["innetwork"]["wire_mb_per_worker"] *= 1.2
+        (tmp_path / "BENCH_netreduce.json").write_text(
+            json.dumps(doctored))
+        report = GateReport()
+        probe_netreduce(report, str(tmp_path), tolerance=0.05, workers=8)
+        assert [c.metric for c in report.regressions] \
+            == ["GRU.n8.innetwork_wire_mb"]
+
+    def test_speedup_flag_judges_fresh_runs(self, netreduce_baseline,
+                                            tmp_path):
+        # The "in-network is faster" bit compares the *fresh* runs, so
+        # doctored baseline step times can't fake a lost speedup: with
+        # tolerance wide enough to hide the doctoring, the gate still
+        # passes because today's code really is faster.
+        doctored = json.loads(json.dumps(netreduce_baseline))
+        doctored["sweep"][0]["innetwork"]["step_ms"] *= 0.6
+        (tmp_path / "BENCH_netreduce.json").write_text(
+            json.dumps(doctored))
+        report = GateReport()
+        probe_netreduce(report, str(tmp_path), tolerance=0.99, workers=8)
+        assert report.errors == []
+        assert report.ok
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        report = GateReport()
+        probe_netreduce(report, str(tmp_path), tolerance=0.05)
+        assert report.errors \
+            == ["netreduce: no BENCH_netreduce.json baseline"]
+
+    def test_missing_worker_count_is_an_error(self, netreduce_baseline,
+                                              tmp_path):
+        (tmp_path / "BENCH_netreduce.json").write_text(
+            json.dumps(netreduce_baseline))
+        report = GateReport()
+        probe_netreduce(report, str(tmp_path), tolerance=0.05, workers=256)
+        assert report.errors \
+            == ["netreduce: no innetwork baseline at n=256"]
 
 
 class TestMainExitCodes:

@@ -54,7 +54,8 @@ class TestExperimentResult:
         assert set(ALL_EXPERIMENTS) == {
             "table2", "figure7", "figure8", "figure9", "figure10",
             "figure11", "figure12", "table3", "allreduce", "stallreport",
-            "overlap", "chaos", "serving", "scale", "telemetry"}
+            "overlap", "chaos", "serving", "scale", "netreduce",
+            "telemetry"}
 
 
 class TestFastExperiments:
