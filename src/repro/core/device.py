@@ -25,10 +25,15 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..simnet.costmodel import CostModel
 from ..simnet.memory import Buffer, MemoryRegion
-from ..simnet.nic import CompletionQueue, QueuePair
+from ..simnet.nic import CompletionQueue, QueuePair, SharedQp
 from ..simnet.simulator import Event, Simulator
 from ..simnet.topology import Endpoint, Host
 from ..simnet.verbs import Completion, Opcode, WcStatus, WorkRequest
+
+#: queue-pair modes a device can run its data plane in: per-peer
+#: reliable-connected QPs (the paper's baseline) or DCT-style shared
+#: endpoints (O(1) QP state per NIC however many peers it talks to)
+QP_MODES = ("rc", "shared")
 
 
 class DeviceError(RuntimeError):
@@ -113,6 +118,14 @@ class RdmaChannel:
     def broken(self) -> bool:
         """Whether the underlying QP is in the error state."""
         return self.qp.broken
+
+    def wr_target(self) -> Optional[QueuePair]:
+        """Per-WR destination endpoint (DCT); None on connected QPs."""
+        return None
+
+    def messaging_qp(self) -> QueuePair:
+        """The QP two-sided messaging (SEND/RECV) rides on."""
+        return self.qp
 
     def reconnect(self) -> None:
         """Re-establish a broken queue pair (both ends).
@@ -234,7 +247,8 @@ class RdmaChannel:
             lkey=local_region.lkey if local_region else 0,
             remote_addr=remote_addr, rkey=remote_region.rkey,
             inline_data=inline_data,
-            signaled=True, role=role, priority=priority)
+            signaled=True, role=role, priority=priority,
+            dct_target=self.wr_target())
         self.device._register_callback(wr.wr_id, callback)
         self.qp.post_send(wr)
         self.bytes_transferred += wr.size
@@ -257,27 +271,100 @@ class RdmaChannel:
         return event
 
 
+class SharedChannel(RdmaChannel):
+    """A channel whose data plane rides a shared (DCT) endpoint.
+
+    ``qp`` is one of the device's O(1) shared endpoints and ``target``
+    is the peer device's matching endpoint; every one-sided verb names
+    the target per work request, so N peers share the same local QP
+    state.  Two-sided control messaging (the address book's FIFO
+    request/reply matching) cannot safely share one receive queue
+    across peers, so it rides a dedicated RC QP pair created lazily on
+    first use — mirroring how real DC-transport deployments bootstrap
+    over RC or UD.  Tensor traffic never touches that control QP.
+    """
+
+    def __init__(self, device: "RdmaDevice", peer: Endpoint,
+                 qp: SharedQp, qp_idx: int, target: SharedQp) -> None:
+        super().__init__(device, peer, qp, qp_idx)
+        self.target = target
+        self._control_qp: Optional[QueuePair] = None
+
+    @property
+    def broken(self) -> bool:
+        # A broken shared endpoint flushes *every* peer's verbs — the
+        # wider blast radius of collapsing N connections into one.
+        return self.qp.broken or self.target.broken
+
+    def wr_target(self) -> Optional[QueuePair]:
+        return self.target
+
+    def messaging_qp(self) -> QueuePair:
+        if self._control_qp is None:
+            peer_device = RdmaDevice.lookup(self.device.host, self.peer)
+            mirror = peer_device._channels.get(
+                (self.device.endpoint, self.qp_idx))
+            cq = self.device.cqs[self.device._next_cq % self.device.num_cqs]
+            self.device._next_cq += 1
+            local_qp = self.device.host.nic.create_qp(cq)
+            peer_cq = peer_device.cqs[
+                peer_device._next_cq % peer_device.num_cqs]
+            peer_device._next_cq += 1
+            remote_qp = peer_device.host.nic.create_qp(peer_cq)
+            local_qp.connect(remote_qp)
+            self._control_qp = local_qp
+            if isinstance(mirror, SharedChannel):
+                mirror._control_qp = remote_qp
+        return self._control_qp
+
+    def reconnect(self) -> None:
+        """Clear the error state on both shared endpoints.
+
+        DCT endpoints are connectionless — recovery transitions the
+        existing QP back to ready instead of minting a fresh pair (the
+        re-establishment time is still charged by the caller).
+        """
+        peer_device = RdmaDevice.lookup(self.device.host, self.peer)
+        mirror = peer_device._channels.get((self.device.endpoint,
+                                            self.qp_idx))
+        self.qp.broken = False
+        self.target.broken = False
+        self.reconnects += 1
+        if mirror is not None and mirror is not self:
+            mirror.reconnects += 1
+
+
 class RdmaDevice:
     """One NIC exposed through the paper's device interface."""
 
     SERVICE_PREFIX = "rdma-device"
 
     def __init__(self, host: Host, num_cqs: int, num_qps_per_peer: int,
-                 endpoint: Endpoint) -> None:
+                 endpoint: Endpoint, qp_mode: str = "rc") -> None:
         if num_cqs < 1 or num_qps_per_peer < 1:
             raise DeviceError("need at least one CQ and one QP per peer")
+        if qp_mode not in QP_MODES:
+            raise DeviceError(f"unknown qp_mode {qp_mode!r}; have {QP_MODES}")
         self.host = host
         self.sim: Simulator = host.sim
         self.cost: CostModel = host.cost
         self.endpoint = endpoint
         self.num_cqs = num_cqs
         self.num_qps_per_peer = num_qps_per_peer
+        self.qp_mode = qp_mode
         self.cqs: List[CompletionQueue] = [
             host.nic.create_cq() for _ in range(num_cqs)]
         self._next_cq = 0
         self._channels: Dict[Tuple[Endpoint, int], RdmaChannel] = {}
         self._callbacks: Dict[int, Optional[Callable]] = {}
         self.regions: List[MemRegion] = []
+        # Shared mode: the whole data plane is this fixed pool of DCT
+        # endpoints, created up front — O(1) per NIC, not O(peers).
+        self._shared_qps: List[SharedQp] = []
+        if qp_mode == "shared":
+            self._shared_qps = [
+                host.nic.create_shared_qp(self.cqs[i % num_cqs])
+                for i in range(num_qps_per_peer)]
         self._pollers = [self.sim.spawn(self._poll_loop(cq),
                                         name=f"cq-poller-{endpoint}-{i}")
                          for i, cq in enumerate(self.cqs)]
@@ -287,12 +374,13 @@ class RdmaDevice:
 
     @classmethod
     def create(cls, host: Host, num_cqs: int, num_qps_per_peer: int,
-               local_endpoint: Endpoint) -> "RdmaDevice":
+               local_endpoint: Endpoint, qp_mode: str = "rc") -> "RdmaDevice":
         """CreateRdmaDevice of Table 1."""
         key = cls._service_key(local_endpoint)
         if key in host.cluster.services:
             raise DeviceError(f"device already exists at {local_endpoint}")
-        return cls(host, num_cqs, num_qps_per_peer, local_endpoint)
+        return cls(host, num_cqs, num_qps_per_peer, local_endpoint,
+                   qp_mode=qp_mode)
 
     @staticmethod
     def _service_key(endpoint: Endpoint) -> Endpoint:
@@ -344,18 +432,34 @@ class RdmaDevice:
         channel = self._channels.get(key)
         if channel is None:
             peer = RdmaDevice.lookup(self.host, remote_endpoint)
-            cq = self.cqs[self._next_cq % self.num_cqs]
-            self._next_cq += 1
-            local_qp = self.host.nic.create_qp(cq)
-            peer_cq = peer.cqs[peer._next_cq % peer.num_cqs]
-            peer._next_cq += 1
-            remote_qp = peer.host.nic.create_qp(peer_cq)
-            local_qp.connect(remote_qp)
-            channel = RdmaChannel(self, remote_endpoint, local_qp, qp_idx)
-            self._channels[key] = channel
-            # The peer gets the mirror channel for send/recv messaging.
-            peer._channels[(self.endpoint, qp_idx)] = RdmaChannel(
-                peer, self.endpoint, remote_qp, qp_idx)
+            if self.qp_mode == "shared":
+                if peer.qp_mode != "shared":
+                    raise DeviceError(
+                        f"qp_mode mismatch: {self.endpoint} is shared but "
+                        f"{remote_endpoint} is {peer.qp_mode}")
+                # No connection to establish: both ends already own their
+                # DCT endpoints; the channel just records which remote
+                # endpoint WRs should target.
+                channel = SharedChannel(self, remote_endpoint,
+                                        self._shared_qps[qp_idx], qp_idx,
+                                        target=peer._shared_qps[qp_idx])
+                self._channels[key] = channel
+                peer._channels[(self.endpoint, qp_idx)] = SharedChannel(
+                    peer, self.endpoint, peer._shared_qps[qp_idx], qp_idx,
+                    target=self._shared_qps[qp_idx])
+            else:
+                cq = self.cqs[self._next_cq % self.num_cqs]
+                self._next_cq += 1
+                local_qp = self.host.nic.create_qp(cq)
+                peer_cq = peer.cqs[peer._next_cq % peer.num_cqs]
+                peer._next_cq += 1
+                remote_qp = peer.host.nic.create_qp(peer_cq)
+                local_qp.connect(remote_qp)
+                channel = RdmaChannel(self, remote_endpoint, local_qp, qp_idx)
+                self._channels[key] = channel
+                # The peer gets the mirror channel for send/recv messaging.
+                peer._channels[(self.endpoint, qp_idx)] = RdmaChannel(
+                    peer, self.endpoint, remote_qp, qp_idx)
         return channel
 
     def post_recv(self, channel: RdmaChannel, mem: MemRegion,
@@ -370,7 +474,7 @@ class RdmaDevice:
                          size=size if size is not None else mem.size - offset,
                          local_addr=mem.addr + offset, lkey=mem.lkey)
         self._register_callback(wr.wr_id, callback)
-        channel.qp.post_recv(wr)
+        channel.messaging_qp().post_recv(wr)
         return wr.wr_id
 
     def post_send_message(self, channel: RdmaChannel, data: bytes,
@@ -379,7 +483,7 @@ class RdmaDevice:
         wr = WorkRequest(opcode=Opcode.SEND, inline_data=data,
                          role="control")
         self._register_callback(wr.wr_id, callback)
-        channel.qp.post_send(wr)
+        channel.messaging_qp().post_send(wr)
         return wr.wr_id
 
     # -- completion dispatch -------------------------------------------------------------

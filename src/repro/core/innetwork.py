@@ -51,7 +51,8 @@ from ..graph.tensor import Tensor
 from ..graph.transfer_api import Outcome
 from ..simnet.fabric import AggregationPlane, rack_groups
 from ..simnet.verbs import (ROLE_COLLECTIVE_CHUNK, ROLE_INNETWORK_AGGREGATE,
-                            ROLE_INNETWORK_RESULT)
+                            ROLE_INNETWORK_RESULT, ROLE_RETRANSMIT, Opcode,
+                            WorkRequest)
 from .device import DeviceError
 
 
@@ -282,18 +283,39 @@ class InNetworkGroup:
         return path
 
     def _send_up(self, member: _Member, round_id: int, chunk_index: int,
-                 size: int, payload) -> None:
-        """Book the member's egress toward its ToR for one chunk."""
+                 size: int, payload,
+                 role: str = ROLE_INNETWORK_AGGREGATE) -> None:
+        """Book the member's egress toward its ToR for one chunk.
+
+        On a lossy fabric the uplink consults the fault plane's
+        loss-only hook (these bookings bypass the verb path): a lost
+        chunk still burns its wire slot — recorded under the attempt's
+        role — and is then re-issued as ``ROLE_RETRANSMIT`` traffic, so
+        retransmitted bytes stay exactly the injected-loss bytes.  The
+        switch-to-host downlink carries reduced results the switch
+        replays from its slot until delivery acknowledges, so it is
+        modelled reliable.
+        """
         sim = self.sim
         tor_link = member.up_link
         latency = tor_link.latency
         tor_link.bytes_carried += size
         tor_link.transfers += 1
+        injector = member.host.cluster.fault_plane
+        lost = False
+        if injector is not None:
+            probe = WorkRequest(opcode=Opcode.WRITE, size=size, role=role)
+            lost = injector.on_uplink(member.nic, probe)
 
         def arrived(start: float, egress_end: float) -> None:
             arrival = egress_end + latency
             self._record(member.host.name, tor_link.dst.name, size,
-                         start, arrival, ROLE_INNETWORK_AGGREGATE)
+                         start, arrival, role)
+            if lost:
+                sim.call_at(arrival, lambda: self._send_up(
+                    member, round_id, chunk_index, size, payload,
+                    role=ROLE_RETRANSMIT))
+                return
             sim.call_at(arrival, lambda: self.plane.chunk_arrival(
                 self.group_id, round_id, chunk_index, member.index, size,
                 payload, arrival))

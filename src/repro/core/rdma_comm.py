@@ -42,12 +42,14 @@ class RdmaCommRuntime(CommRuntime):
                  num_qps_per_peer: int = 4, gpu_tensors: bool = False,
                  gpudirect: bool = False, force_dynamic: bool = False,
                  dynamic_headroom: Optional[int] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 qp_mode: str = "rc") -> None:
         if gpudirect and not gpu_tensors:
             raise DeviceError("gpudirect requires gpu_tensors")
         self.zero_copy = zero_copy
         self.num_cqs = num_cqs
         self.num_qps_per_peer = num_qps_per_peer
+        self.qp_mode = qp_mode
         self.gpu_tensors = gpu_tensors
         self.gpudirect = gpudirect
         # GPUDirect always transfers through the dynamic protocol (§3.5).
@@ -90,12 +92,18 @@ class RdmaCommRuntime(CommRuntime):
             self.recovery = RecoveryManager(
                 session.sim, session.cluster.cost,
                 policy=self.retry_policy, tracer=session.cluster.tracer)
+            # Lossy fabrics drop individual packets rather than whole
+            # transfers: recover at chunk granularity (selective repeat)
+            # instead of go-back-N.  Gated on the fault spec so classic
+            # crash/partition chaos keeps its exact legacy accounting.
+            self.recovery.selective_repeat = plane.has_loss
 
         for index, device_name in enumerate(sorted(session.executors)):
             executor = session.executors[device_name]
             endpoint = Endpoint(executor.host.name, _PORT_BASE + index)
             device = RdmaDevice.create(executor.host, self.num_cqs,
-                                       self.num_qps_per_peer, endpoint)
+                                       self.num_qps_per_peer, endpoint,
+                                       qp_mode=self.qp_mode)
             attach_address_book(device)
             self.devices[device_name] = device
             self.endpoints[device_name] = endpoint

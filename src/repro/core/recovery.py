@@ -27,15 +27,32 @@ flag byte can never observe a half-landed payload.  In recovery mode
 the flag carries an *epoch* (1..255, cycling) instead of a bare 1, so a
 stale duplicate from a timed-out-but-delivered attempt can never be
 consumed twice (see ``transfer.py``).
+
+Selective repeat (lossy fabrics)
+--------------------------------
+Retrying the whole transfer is the transport equivalent of go-back-N:
+fine when faults are rare whole-verb events, quadratically wasteful on
+a PFC-less fabric that drops individual packets.  When a ``loss`` fault
+rule is armed the comm runtime flips :attr:`RecoveryManager.
+selective_repeat` on, and large transfers switch to
+*communication-semantic-aware* selective repeat: the payload is cut
+into ``CostModel.loss_chunk_bytes`` chunks tracked by a per-transfer
+landed bitmap, and each round re-issues **only the chunks the fabric
+actually lost**, tagged :data:`~repro.simnet.verbs.ROLE_RETRANSMIT` on
+the wire.  Recovery cost is O(lost bytes), not O(window); the epoch
+flag still trails the whole payload (the protocols post it after
+``reliable_memcpy`` returns), so consumers never observe a partially
+repaired tensor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..simnet.costmodel import CostModel
 from ..simnet.simulator import Simulator
+from ..simnet.verbs import ROLE_RETRANSMIT
 from .device import DeviceError, Direction, MemRegion, RdmaChannel, RemoteMemRegion
 
 
@@ -87,6 +104,15 @@ class RecoveryStats:
     fallback_transfers: int = 0
     channels_degraded: int = 0
     gave_up: int = 0
+    #: timed-out attempts whose original completion landed during the
+    #: backoff window — goodput, not loss; never re-issued (the
+    #: retry-accounting dedupe)
+    late_completions: int = 0
+    #: selective-repeat re-issues (chunks or small whole transfers)
+    retransmits: int = 0
+    #: bytes re-sent under ROLE_RETRANSMIT — the O(lost) invariant the
+    #: lossy chaos suite bounds against injected-loss bytes
+    retransmitted_bytes: int = 0
     retries_by_role: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -98,6 +124,9 @@ class RecoveryStats:
             "fallback_transfers": self.fallback_transfers,
             "channels_degraded": self.channels_degraded,
             "gave_up": self.gave_up,
+            "late_completions": self.late_completions,
+            "retransmits": self.retransmits,
+            "retransmitted_bytes": self.retransmitted_bytes,
             "retries_by_role": dict(self.retries_by_role),
         }
 
@@ -113,6 +142,13 @@ class RecoveryManager:
         self.policy = policy or RetryPolicy()
         self.tracer = tracer
         self.stats = RecoveryStats()
+        #: chunk-granular selective repeat; flipped on by the comm
+        #: runtime only when a ``loss`` fault rule is armed, so every
+        #: other configuration keeps the legacy whole-transfer loop
+        #: (and its exact-count chaos invariants) bit-identical
+        self.selective_repeat = False
+        #: sequence-number granularity of the chunk bitmap
+        self.chunk_bytes = cost.loss_chunk_bytes
 
     # -- the retry loop ----------------------------------------------------------
 
@@ -134,6 +170,14 @@ class RecoveryManager:
         fallback is disabled.
         """
         policy = self.policy
+        if (self.selective_repeat and inline_data is None
+                and size > self.chunk_bytes):
+            yield from self._selective_memcpy(
+                channel, local_addr=local_addr, local_region=local_region,
+                remote_addr=remote_addr, remote_region=remote_region,
+                size=size, direction=direction, role=role,
+                priority=priority)
+            return
         limit = policy.attempt_timeout(size)
         attempt = 0
         while True:
@@ -141,9 +185,16 @@ class RecoveryManager:
                 yield from self._fallback(channel, local_addr, remote_addr,
                                           size, direction, inline_data, role)
                 return
+            # In selective-repeat mode even single-chunk re-issues carry
+            # the retransmit role so lossy-wire accounting stays exact.
+            retransmit = self.selective_repeat and attempt > 0
+            if retransmit:
+                self.stats.retransmits += 1
+                self.stats.retransmitted_bytes += size
             event = channel.memcpy_event(
                 local_addr, local_region, remote_addr, remote_region, size,
-                direction, inline_data=inline_data, role=role,
+                direction, inline_data=inline_data,
+                role=ROLE_RETRANSMIT if retransmit else role,
                 priority=priority)
             started = self.sim.now
             failure: Optional[str] = None
@@ -174,15 +225,132 @@ class RecoveryManager:
                     channel.degraded = True
                     self.stats.channels_degraded += 1
                 continue
+            yield (policy.backoff_delay(attempt))
+            if failure == "timeout" and event.ok:
+                # The "lost" attempt was merely late: its completion
+                # landed during the backoff window.  Re-issuing would
+                # double-count a retry and re-send bytes that already
+                # committed — record the race and stop instead.
+                self.stats.late_completions += 1
+                return
             self.stats.retries += 1
             self.stats.retries_by_role[role] = \
                 self.stats.retries_by_role.get(role, 0) + 1
-            yield (policy.backoff_delay(attempt))
             if channel.broken:
                 yield (self.cost.qp_reestablish_time)
                 channel.reconnect()
                 self.stats.qp_reconnects += 1
-            self._trace_retry(channel, role, size, attempt, failure, started)
+            self._trace_retry(channel, role, size, attempt, failure, started,
+                              retransmit=self.selective_repeat)
+
+    def _selective_memcpy(self, channel: RdmaChannel, *,
+                          local_addr: int,
+                          local_region: Optional[MemRegion],
+                          remote_addr: int,
+                          remote_region: Optional[RemoteMemRegion],
+                          size: int, direction: Direction,
+                          role: str, priority: int) -> Generator:
+        """Chunk-granular selective repeat for one large transfer.
+
+        The payload is cut into ``chunk_bytes`` chunks, each posted as
+        its own verb (per-QP FIFO keeps them in sequence order).  A
+        round completes when every outstanding chunk settles — error
+        CQEs from lost chunks included — or the per-transfer timeout
+        fires (blackholes produce no CQE at all).  Chunks that landed
+        are marked in the bitmap; only the rest are re-issued, tagged
+        ``ROLE_RETRANSMIT`` at the original priority.  Chunks whose
+        completion arrives during the backoff window are goodput, not
+        loss, and are never re-sent.  Exhausting the round budget
+        degrades the remaining chunks (only) to the TCP path.
+        """
+        policy = self.policy
+        chunk = max(int(self.chunk_bytes), 1)
+        bounds = [(lo, min(lo + chunk, size))
+                  for lo in range(0, size, chunk)]
+        pending = list(range(len(bounds)))
+        limit = policy.attempt_timeout(size)
+        attempt = 0
+        while True:
+            if channel.degraded:
+                for index in pending:
+                    lo, hi = bounds[index]
+                    yield from self._fallback(
+                        channel, local_addr + lo, remote_addr + lo,
+                        hi - lo, direction, None, role)
+                return
+            wire_role = role if attempt == 0 else ROLE_RETRANSMIT
+            events: List[Tuple[int, object]] = []
+            for index in pending:
+                lo, hi = bounds[index]
+                if attempt > 0:
+                    self.stats.retransmits += 1
+                    self.stats.retransmitted_bytes += hi - lo
+                events.append((index, channel.memcpy_event(
+                    local_addr + lo, local_region, remote_addr + lo,
+                    remote_region, hi - lo, direction, role=wire_role,
+                    priority=priority)))
+            started = self.sim.now
+            # Gather every chunk's settling (success *or* error CQE)
+            # behind one gate event: AllOf would fail fast on the first
+            # lost chunk and hide the fate of the rest of the round.
+            state = {"unsettled": len(events), "gate": self.sim.event()}
+
+            def settle(_event, state=state) -> None:
+                state["unsettled"] -= 1
+                if state["unsettled"] == 0 and not state["gate"].triggered:
+                    state["gate"].succeed()
+
+            for _index, event in events:
+                event.add_callback(settle)
+            result = yield self.sim.any_of(
+                [state["gate"], self.sim.timeout(limit, _TIMEOUT)])
+            timed_out = result is _TIMEOUT
+            if timed_out:
+                self.stats.timeouts += 1
+            still_out: List[Tuple[int, object]] = []
+            failed = 0
+            for index, event in events:
+                if event.ok:
+                    continue
+                if event.triggered:
+                    failed += 1
+                still_out.append((index, event))
+            self.stats.failed_completions += failed
+            if not still_out:
+                return
+            attempt += 1
+            if attempt > policy.max_retries:
+                self.stats.gave_up += 1
+                if not policy.tcp_fallback:
+                    raise DeviceError(
+                        f"{len(still_out)} chunks still lost after "
+                        f"{policy.max_retries} retransmit rounds")
+                if not channel.degraded:
+                    channel.degraded = True
+                    self.stats.channels_degraded += 1
+                pending = [index for index, _event in still_out]
+                continue
+            yield (policy.backoff_delay(attempt))
+            pending = []
+            for index, event in still_out:
+                if event.ok:
+                    # Landed during the backoff: late goodput, no re-send.
+                    self.stats.late_completions += 1
+                else:
+                    pending.append(index)
+            if not pending:
+                return
+            self.stats.retries += 1
+            self.stats.retries_by_role[role] = \
+                self.stats.retries_by_role.get(role, 0) + 1
+            if channel.broken:
+                yield (self.cost.qp_reestablish_time)
+                channel.reconnect()
+                self.stats.qp_reconnects += 1
+            lost = sum(bounds[i][1] - bounds[i][0] for i in pending)
+            self._trace_retry(channel, role, lost, attempt,
+                              "timeout" if timed_out else "chunk-loss",
+                              started, retransmit=True)
 
     def _fallback(self, channel: RdmaChannel, local_addr: int,
                   remote_addr: int, size: int, direction: Direction,
@@ -195,7 +363,8 @@ class RecoveryManager:
             direction=direction, inline_data=inline_data, role=role)
 
     def _trace_retry(self, channel: RdmaChannel, role: str, size: int,
-                     attempt: int, failure: str, started: float) -> None:
+                     attempt: int, failure: str, started: float,
+                     retransmit: bool = False) -> None:
         if self.tracer is None:
             return
         host = channel.device.host.name
@@ -203,8 +372,11 @@ class RecoveryManager:
             "retry", f"retry#{attempt} {role or 'transfer'}", host,
             f"recovery:{host}", started, self.sim.now,
             args={"role": role, "size": size, "attempt": attempt,
-                  "cause": failure, "peer": str(channel.peer)})
+                  "cause": failure, "peer": str(channel.peer),
+                  "retransmit": retransmit})
         self.tracer.metrics.counter("transfer_retries").add(1)
+        if retransmit:
+            self.tracer.metrics.counter("retransmitted_bytes").add(size)
 
     # -- reporting ---------------------------------------------------------------
 

@@ -10,7 +10,8 @@ from .replication import TrainingJob, build_training_graph
 from .rpc_comm import GrpcCommRuntime
 from .runner import (MECHANISMS, STRATEGIES, BenchmarkResult, CommConfig,
                      comm_config, configure_comm, make_mechanism,
-                     reset_comm_config, run_training_benchmark)
+                     reset_comm_config, run_training_benchmark,
+                     swap_comm_config)
 
 __all__ = [
     "ALLREDUCE_ALGORITHMS", "AllreduceTrainingJob", "BenchmarkResult",
@@ -19,5 +20,5 @@ __all__ = [
     "build_model_parallel_graph", "build_training_graph", "comm_config",
     "configure_comm", "greedy_placement", "make_mechanism",
     "reset_comm_config", "split_stages", "placement_balance",
-    "round_robin_placement", "run_training_benchmark",
+    "round_robin_placement", "run_training_benchmark", "swap_comm_config",
 ]

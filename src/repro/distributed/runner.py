@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from ..core.device import QP_MODES
 from ..core.rdma_comm import RdmaCommRuntime
 from ..core.recovery import RetryPolicy
 from ..graph.session import RunStats, Session
@@ -96,6 +97,11 @@ class CommConfig:
 
     num_cqs: int = 4
     num_qps_per_peer: int = 4
+    #: queue-pair layout (``--qp-mode``): ``"rc"`` keeps the paper's
+    #: per-peer reliable-connected pairs (bit-identical timing);
+    #: ``"shared"`` multiplexes every peer over O(1) DCT-style shared
+    #: endpoints per NIC
+    qp_mode: str = "rc"
     backend: str = "RDMA"
     #: fusion-bucket capacity for collective strategies (``--fusion-mb``);
     #: None keeps ``DEFAULT_FUSION_BYTES``
@@ -111,6 +117,11 @@ class CommConfig:
     fault_spec: Optional[str] = None
     #: RNG seed for probabilistic fault rules (``--fault-seed``)
     fault_seed: int = 0
+    #: lossy-fabric drop probability per transfer attempt (``--loss``):
+    #: merges a ``loss:p=<rate>`` clause into the effective fault spec,
+    #: so runs see ECN-style probabilistic drops without writing a full
+    #: ``--fault-spec``; None/0 keeps the fabric lossless
+    loss_rate: Optional[float] = None
     #: recovery-layer overrides; None keeps ``RetryPolicy`` defaults
     retry_limit: Optional[int] = None
     retry_timeout: Optional[float] = None
@@ -200,12 +211,14 @@ def comm_config() -> CommConfig:
 
 def configure_comm(num_cqs: Optional[int] = None,
                    num_qps_per_peer: Optional[int] = None,
+                   qp_mode: Optional[str] = None,
                    backend: Optional[str] = None,
                    fusion_bytes: Optional[int] = None,
                    priority_sched: Optional[bool] = None,
                    eager_flush: Optional[bool] = None,
                    fault_spec: Optional[str] = None,
                    fault_seed: Optional[int] = None,
+                   loss_rate: Optional[float] = None,
                    retry_limit: Optional[int] = None,
                    retry_timeout: Optional[float] = None,
                    retry_backoff: Optional[float] = None,
@@ -228,6 +241,10 @@ def configure_comm(num_cqs: Optional[int] = None,
         if num_qps_per_peer < 1:
             raise ValueError("num_qps_per_peer must be at least 1")
         changes["num_qps_per_peer"] = num_qps_per_peer
+    if qp_mode is not None:
+        if qp_mode not in QP_MODES:
+            raise ValueError(f"unknown qp_mode {qp_mode!r}; have {QP_MODES}")
+        changes["qp_mode"] = qp_mode
     if backend is not None:
         if backend == "auto" or backend not in MECHANISMS:
             raise ValueError(f"unknown backend {backend!r}; "
@@ -248,6 +265,10 @@ def configure_comm(num_cqs: Optional[int] = None,
         changes["fault_spec"] = fault_spec or None
     if fault_seed is not None:
         changes["fault_seed"] = fault_seed
+    if loss_rate is not None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        changes["loss_rate"] = loss_rate or None
     if retry_limit is not None:
         if retry_limit < 0:
             raise ValueError("retry_limit must be non-negative")
@@ -329,6 +350,7 @@ def make_mechanism(name: str) -> CommRuntime:
         name = _COMM_CONFIG.backend
     cqs = _COMM_CONFIG.num_cqs
     qps = _COMM_CONFIG.num_qps_per_peer
+    mode = _COMM_CONFIG.qp_mode
     retry = _COMM_CONFIG.retry_policy()
     if name == "gRPC.TCP":
         return GrpcCommRuntime(transport="tcp")
@@ -336,20 +358,23 @@ def make_mechanism(name: str) -> CommRuntime:
         return GrpcCommRuntime(transport="rdma")
     if name == "RDMA":
         return RdmaCommRuntime(zero_copy=True, num_cqs=cqs,
-                               num_qps_per_peer=qps, retry_policy=retry)
+                               num_qps_per_peer=qps, retry_policy=retry,
+                               qp_mode=mode)
     if name == "RDMA.cp":
         return RdmaCommRuntime(zero_copy=False, num_cqs=cqs,
-                               num_qps_per_peer=qps, retry_policy=retry)
+                               num_qps_per_peer=qps, retry_policy=retry,
+                               qp_mode=mode)
     if name == "RDMA.gpu":
         # Tensors in GPU memory without GPUDirect: PCIe staging on
         # both ends of every transfer (the Table 3 "RDMA" column).
         return RdmaCommRuntime(zero_copy=True, gpu_tensors=True,
                                num_cqs=cqs, num_qps_per_peer=qps,
-                               retry_policy=retry)
+                               retry_policy=retry, qp_mode=mode)
     if name == "RDMA+GDR":
         return RdmaCommRuntime(zero_copy=True, gpu_tensors=True,
                                gpudirect=True, num_cqs=cqs,
-                               num_qps_per_peer=qps, retry_policy=retry)
+                               num_qps_per_peer=qps, retry_policy=retry,
+                               qp_mode=mode)
     if name == "Local":
         return NullComm()
     raise ValueError(f"unknown mechanism {name!r}; have {MECHANISMS}")
@@ -474,6 +499,7 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            collect_trace: bool = False,
                            fault_spec: Optional[str] = None,
                            fault_seed: Optional[int] = None,
+                           loss_rate: Optional[float] = None,
                            topology: Optional[str] = None,
                            racks: Optional[int] = None,
                            hosts_per_rack: Optional[int] = None,
@@ -510,6 +536,11 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
         fault_spec = _COMM_CONFIG.fault_spec
     if fault_seed is None:
         fault_seed = _COMM_CONFIG.fault_seed
+    if loss_rate is None:
+        loss_rate = _COMM_CONFIG.loss_rate
+    if loss_rate:
+        clause = f"loss:p={loss_rate}"
+        fault_spec = f"{fault_spec};{clause}" if fault_spec else clause
     if topology is None:
         topology = _COMM_CONFIG.topology
     if topology not in TOPOLOGIES:

@@ -13,6 +13,7 @@ import argparse
 import sys
 import time
 
+from ..core.device import QP_MODES
 from ..distributed.runner import (MECHANISMS, TOPOLOGIES, comm_config,
                                   configure_comm, resolve_trace_hosts)
 from ..distributed.allreduce import ALLREDUCE_ALGORITHMS
@@ -37,6 +38,11 @@ def main(argv=None) -> int:
     parser.add_argument("--qps-per-peer", type=int, default=None,
                         metavar="N",
                         help="queue pairs per peer endpoint (default 4)")
+    parser.add_argument("--qp-mode", choices=QP_MODES, default=None,
+                        help="queue-pair layout: 'rc' keeps per-peer "
+                             "reliable-connected pairs (default); 'shared' "
+                             "multiplexes every peer over O(1) DCT-style "
+                             "shared endpoints per NIC")
     parser.add_argument("--backend", choices=MECHANISMS, default=None,
                         help="transfer mechanism used where an experiment "
                              "asks for the configured default")
@@ -62,6 +68,11 @@ def main(argv=None) -> int:
     parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
                         help="RNG seed for probabilistic fault rules "
                              "(default 0; same seed => same schedule)")
+    parser.add_argument("--loss", type=float, default=None, metavar="RATE",
+                        help="lossy fabric: drop each transfer attempt with "
+                             "this probability (ECN-coupled on fat trees); "
+                             "shorthand for a 'loss:p=RATE' fault clause, "
+                             "switches recovery to selective repeat")
     parser.add_argument("--retry-limit", type=int, default=None, metavar="N",
                         help="transfer re-issues before degrading to TCP "
                              "(default 4)")
@@ -190,6 +201,8 @@ def main(argv=None) -> int:
     if args.trace_event_cap is not None and args.trace_out is None:
         parser.error("--trace-event-cap bounds the merged Chrome trace; "
                      "add --trace-out")
+    if args.loss is not None and not 0.0 <= args.loss < 1.0:
+        parser.error(f"--loss must be in [0, 1), got {args.loss}")
     if args.trace_sample is not None \
             and not 0.0 < args.trace_sample <= 1.0:
         parser.error(f"--trace-sample must be in (0, 1], got "
@@ -207,12 +220,14 @@ def main(argv=None) -> int:
                     else int(args.fusion_mb * 1024 * 1024))
     configure_comm(num_cqs=args.num_cqs,
                    num_qps_per_peer=args.qps_per_peer,
+                   qp_mode=args.qp_mode,
                    backend=args.backend,
                    fusion_bytes=fusion_bytes,
                    priority_sched=args.priority_sched,
                    eager_flush=args.eager_flush,
                    fault_spec=args.fault_spec,
                    fault_seed=args.fault_seed,
+                   loss_rate=args.loss,
                    retry_limit=args.retry_limit,
                    retry_timeout=args.retry_timeout,
                    tcp_fallback=args.tcp_fallback,

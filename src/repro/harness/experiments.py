@@ -1038,6 +1038,189 @@ def telemetry(model: str = "FCN-5", num_servers: int = 8,
     return result
 
 
+def lossy(worker_counts: Sequence[int] = (8, 64, 128),
+          loss_rates: Sequence[float] = (0.0, 1e-4, 1e-3),
+          oversubscription: float = 4.0, model: str = "GRU",
+          iterations: int = 2, batch_size: int = 1,
+          max_flat_ring_workers: int = 8, max_retx_ratio: float = 3.0,
+          fault_seed: int = 3,
+          json_path: Optional[str] = None) -> ExperimentResult:
+    """Extension: loss-tolerant transport on a PFC-less fabric, validated.
+
+    For each worker count and allreduce backend (flat ring up to
+    ``max_flat_ring_workers``, rack-hierarchical and switch-aggregated
+    in-network on the oversubscribed fat tree), trains under a sweep of
+    packet-loss probabilities.  The ``loss`` fault kind drops posted
+    verbs ECN-coupled to trunk utilization; recovery answers with
+    chunk-granular selective repeat, so the sweep validates the two
+    transport invariants end to end:
+
+    * **loss-free identity** — the ``p=0`` cell runs under both QP
+      modes (connected RC and DCT-style shared endpoints) and their
+      iteration clocks must be bit-identical;
+    * **O(lost) recovery** — every lossy cell's ``ROLE_RETRANSMIT``
+      bytes stay within ``max_retx_ratio`` of the injected-loss bytes
+      (go-back-N would re-send whole transfers and blow the bound), and
+      no channel exhausts its retry budget.
+
+    Rack width follows the netreduce discipline: 4-host racks at 8
+    workers, 8-host racks at 64+.  Pass ``json_path`` to dump the sweep
+    (rewritten after every cell; CI commits a full run as
+    ``BENCH_lossy.json`` and the regression gate's ``lossy`` probe
+    re-runs one cell against it).
+    """
+    import time as _time
+    from dataclasses import replace as _dc_replace
+
+    from ..distributed.runner import swap_comm_config
+    from ..simnet.verbs import ROLE_RETRANSMIT
+
+    spec = get_model(model)
+    result = ExperimentResult(
+        experiment="Extension: lossy",
+        title=(f"Loss-tolerant transport: {model}, "
+               f"{oversubscription:g}:1 fat-tree uplinks"),
+        columns=["workers", "strategy", "loss_pct", "step_ms",
+                 "slowdown", "losses", "retx", "retx_ratio", "gave_up"])
+    sweep: List[Dict[str, object]] = []
+    retx_ok = True
+    retx_ok_at_scale = True
+    qp_modes_identical = True
+
+    def _dump() -> None:
+        if json_path is None:
+            return
+        payload = {
+            "experiment": "lossy",
+            "config": {"model": model,
+                       "worker_counts": list(worker_counts),
+                       "loss_rates": list(loss_rates),
+                       "oversubscription": oversubscription,
+                       "batch_size": batch_size,
+                       "iterations": iterations,
+                       "max_flat_ring_workers": max_flat_ring_workers,
+                       "max_retx_ratio": max_retx_ratio,
+                       "fault_seed": fault_seed},
+            "sweep": sweep,
+            "qp_modes_bit_identical_loss_free": qp_modes_identical,
+            "retx_within_bound": retx_ok,
+            "retx_within_bound_at_128_workers": retx_ok_at_scale,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    for workers in worker_counts:
+        hosts_per_rack = 4 if workers <= 8 else 8
+        strategies = (("hierarchical", "innetwork")
+                      if workers > max_flat_ring_workers
+                      else ("ring", "hierarchical", "innetwork"))
+        for strategy in strategies:
+            entry: Dict[str, object] = {
+                "workers": workers, "strategy": strategy,
+                "hosts_per_rack": hosts_per_rack, "cells": [],
+            }
+            # Appended before the cells run so the per-cell _dump()
+            # keeps partial entries of a long sweep that dies.
+            sweep.append(entry)
+            clean_step = None
+            for rate in loss_rates:
+                started = _time.time()
+                bench = run_training_benchmark(
+                    spec, "RDMA", num_servers=workers,
+                    batch_size=batch_size, iterations=iterations,
+                    strategy=strategy, topology="fat-tree",
+                    hosts_per_rack=hosts_per_rack,
+                    oversubscription=oversubscription,
+                    loss_rate=rate or None, fault_seed=fault_seed,
+                    collect_metrics=rate > 0.0)
+                if bench.crashed:
+                    raise RuntimeError(
+                        f"lossy {strategy}/n{workers}/p={rate} crashed: "
+                        f"{bench.crash_reason}")
+                cell: Dict[str, object] = {
+                    "loss_rate": rate,
+                    "step_ms": bench.step_time * 1e3,
+                    "iteration_times": list(bench.stats.iteration_times),
+                    "wall_s": _time.time() - started,
+                }
+                if rate == 0.0:
+                    # The loss-free cell doubles as the QP-mode identity
+                    # check: shared endpoints must keep the RC clock.
+                    clean_step = cell["step_ms"]
+                    previous = swap_comm_config(
+                        _dc_replace(comm_config(), qp_mode="shared"))
+                    try:
+                        shared = run_training_benchmark(
+                            spec, "RDMA", num_servers=workers,
+                            batch_size=batch_size, iterations=iterations,
+                            strategy=strategy, topology="fat-tree",
+                            hosts_per_rack=hosts_per_rack,
+                            oversubscription=oversubscription)
+                    finally:
+                        swap_comm_config(previous)
+                    identical = (shared.stats.iteration_times
+                                 == bench.stats.iteration_times)
+                    qp_modes_identical = qp_modes_identical and identical
+                    cell["shared_qp_identical"] = identical
+                    losses = lost_bytes = retx = 0
+                    retx_bytes = gave_up = 0
+                    ratio = 0.0
+                else:
+                    injected = bench.stats.faults["injected"]["log"]
+                    recovery = bench.stats.faults["recovery"]
+                    losses = sum(1 for e in injected
+                                 if e["kind"] == "loss")
+                    lost_bytes = sum(e["size"] for e in injected
+                                     if e["kind"] == "loss")
+                    # Count retransmissions on the wire, not in the
+                    # recovery layer: in-network uplink losses are
+                    # re-issued by the switch plane and never pass
+                    # through a RecoveryManager.
+                    retx = bench.metrics.count(role=ROLE_RETRANSMIT)
+                    retx_bytes = bench.metrics.bytes_by_role().get(
+                        ROLE_RETRANSMIT, 0)
+                    gave_up = recovery["gave_up"]
+                    ratio = (retx_bytes / lost_bytes) if lost_bytes else 0.0
+                    bounded = (gave_up == 0 and
+                               (lost_bytes == 0
+                                or ratio <= max_retx_ratio))
+                    retx_ok = retx_ok and bounded
+                    if workers >= 128:
+                        retx_ok_at_scale = retx_ok_at_scale and bounded
+                    cell.update({"losses": losses,
+                                 "lost_bytes": lost_bytes,
+                                 "retransmits": retx,
+                                 "retransmitted_bytes": retx_bytes,
+                                 "retx_ratio": ratio,
+                                 "gave_up": gave_up,
+                                 "fallbacks":
+                                     recovery["fallback_transfers"]})
+                slowdown = (cell["step_ms"] / clean_step
+                            if clean_step else 0.0)
+                cell["slowdown_vs_loss_free"] = slowdown
+                entry["cells"].append(cell)
+                result.add_row(workers, strategy, rate * 100,
+                               round(cell["step_ms"], 3),
+                               round(slowdown, 4), losses, retx,
+                               round(ratio, 3), gave_up)
+                _dump()
+            worst = max(entry["cells"],
+                        key=lambda c: c.get("retx_ratio", 0.0))
+            result.note(
+                f"{strategy} n={workers}: loss-free "
+                f"{clean_step:.2f} ms (shared QP identical: "
+                f"{entry['cells'][0].get('shared_qp_identical')}), worst "
+                f"retx ratio {worst.get('retx_ratio', 0.0):.3f} at "
+                f"p={worst['loss_rate']:g}")
+    result.note(f"loss-free clocks bit-identical across QP modes: "
+                f"{qp_modes_identical}")
+    result.note(f"retransmitted bytes within {max_retx_ratio:g}x of "
+                f"injected loss everywhere: {retx_ok}")
+    _dump()
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure7": figure7,
@@ -1055,6 +1238,7 @@ ALL_EXPERIMENTS = {
     "scale": scale,
     "netreduce": netreduce,
     "telemetry": telemetry,
+    "lossy": lossy,
 }
 
 

@@ -21,7 +21,12 @@ benchmark's configuration and comparing per-metric:
 * ``netreduce`` — one 64-worker cell of ``BENCH_netreduce.json``:
   in-network vs hierarchical step times, the per-worker wire-byte
   identity (measured egress ``== M``), the zero-spill invariant, and
-  the "in-network is faster at scale" bit.
+  the "in-network is faster at scale" bit;
+* ``lossy`` — one 8-worker hierarchical cell of ``BENCH_lossy.json``:
+  lossy step time, the exact retransmitted-byte and loss-event counts
+  (deterministic under the committed fault seed), the
+  retransmit-overhead bound (``retx <= k x lost``, no exhausted retry
+  budgets), and the loss-free RC/shared-QP clock identity.
 
 Exit status is nonzero when any gated metric regresses beyond its
 tolerance, which is what lets CI fail the build.  ``--json`` dumps
@@ -59,7 +64,7 @@ DEFAULT_OVERLAP_MODELS = ("AlexNet", "FCN-5")
 #: how many gate records --trajectory keeps in BENCH_telemetry.json
 TRAJECTORY_KEEP = 20
 
-PROBES = ("overlap", "scale", "serving", "netreduce")
+PROBES = ("overlap", "scale", "serving", "netreduce", "lossy")
 
 
 @dataclass
@@ -327,8 +332,82 @@ def probe_netreduce(report: GateReport, baseline_dir: str,
             f"{fresh['hierarchical'].step_time * 1e3:.3f} ms)")
 
 
+def probe_lossy(report: GateReport, baseline_dir: str,
+                tolerance: float, workers: int = 8) -> None:
+    """Re-run one lossy-transport cell plus the QP-mode identity."""
+    from dataclasses import replace as _dc_replace
+
+    from ..distributed.runner import (comm_config, run_training_benchmark,
+                                      swap_comm_config)
+
+    baseline = _load_baseline(baseline_dir, "BENCH_lossy.json")
+    if baseline is None:
+        report.errors.append("lossy: no BENCH_lossy.json baseline")
+        return
+    config = baseline["config"]
+    entry = next((e for e in baseline["sweep"]
+                  if e["workers"] == workers
+                  and e["strategy"] == "hierarchical"), None)
+    if entry is None:
+        report.errors.append(f"lossy: no hierarchical baseline at "
+                             f"n={workers}")
+        return
+    rate = max(c["loss_rate"] for c in entry["cells"])
+    base_cell = next(c for c in entry["cells"]
+                     if c["loss_rate"] == rate)
+    max_ratio = float(config.get("max_retx_ratio", 3.0))
+    common = dict(num_servers=workers, batch_size=config["batch_size"],
+                  iterations=config["iterations"],
+                  strategy="hierarchical", topology="fat-tree",
+                  hosts_per_rack=entry["hosts_per_rack"],
+                  oversubscription=config["oversubscription"])
+    spec = get_model(config["model"])
+    bench = run_training_benchmark(spec, "RDMA", loss_rate=rate,
+                                   fault_seed=config["fault_seed"],
+                                   **common)
+    if bench.crashed:
+        report.errors.append(f"lossy: n={workers}/p={rate} crashed: "
+                             f"{bench.crash_reason}")
+        return
+    injected = bench.stats.faults["injected"]["log"]
+    recovery = bench.stats.faults["recovery"]
+    lost_bytes = sum(e["size"] for e in injected if e["kind"] == "loss")
+    retx_bytes = recovery["retransmitted_bytes"]
+    report.add(Check("lossy", f"n{workers}.p{rate:g}.step_ms",
+                     base_cell["step_ms"], bench.step_time * 1e3,
+                     "lower_better", tolerance))
+    # The fault schedule is seeded, so loss and retransmit accounting
+    # reproduce exactly: any drift is an accounting change, not noise.
+    report.add(Check("lossy", f"n{workers}.p{rate:g}.lost_bytes",
+                     base_cell["lost_bytes"], lost_bytes,
+                     "match", tolerance))
+    report.add(Check("lossy", f"n{workers}.p{rate:g}.retransmitted_bytes",
+                     base_cell["retransmitted_bytes"], retx_bytes,
+                     "match", tolerance))
+    if recovery["gave_up"]:
+        report.errors.append(f"lossy: {recovery['gave_up']} transfers "
+                             f"exhausted their retry budget (baseline: 0)")
+    if lost_bytes and retx_bytes > max_ratio * lost_bytes:
+        report.errors.append(
+            f"lossy: retransmitted {retx_bytes}B for {lost_bytes}B lost "
+            f"(bound: {max_ratio:g}x) — selective repeat degraded toward "
+            f"go-back-N")
+    rc = run_training_benchmark(spec, "RDMA", **common)
+    previous = swap_comm_config(
+        _dc_replace(comm_config(), qp_mode="shared"))
+    try:
+        shared = run_training_benchmark(spec, "RDMA", **common)
+    finally:
+        swap_comm_config(previous)
+    if rc.stats.iteration_times != shared.stats.iteration_times:
+        report.errors.append(
+            "lossy: loss-free clocks diverged between RC and shared QP "
+            "modes (baseline: bit-identical)")
+
+
 _PROBE_FNS = {"overlap": probe_overlap, "scale": probe_scale,
-              "serving": probe_serving, "netreduce": probe_netreduce}
+              "serving": probe_serving, "netreduce": probe_netreduce,
+              "lossy": probe_lossy}
 
 
 # -- trajectory ------------------------------------------------------------------------

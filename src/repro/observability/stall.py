@@ -297,10 +297,18 @@ def build_stall_report(tracer: Tracer) -> StallReport:
         for span in fault_spans:
             kind = str((span.args or {}).get("kind", "unknown"))
             by_kind[kind] = by_kind.get(kind, 0) + 1
+        retransmit_spans = [s for s in retry_spans
+                            if (s.args or {}).get("retransmit")]
         report.faults = {
             "injected": len(fault_spans),
             "by_kind": by_kind,
             "retries": len(retry_spans),
             "retry_seconds": sum(s.duration for s in retry_spans),
+            # selective-repeat runs: how much of the retry traffic was
+            # chunk-granular retransmission and how many bytes it re-sent
+            "retransmits": len(retransmit_spans),
+            "retransmitted_bytes": sum(
+                int((s.args or {}).get("size", 0))
+                for s in retransmit_spans),
         }
     return report

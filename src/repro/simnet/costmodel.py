@@ -111,6 +111,28 @@ class CostModel:
     #: covering the chunk round-trip so the access link stays saturated.
     switch_agg_window: int = 8
 
+    # ---- lossy fabric (ECN-marked drops, no PFC) ----
+    #: selective-repeat chunk granularity: a transfer larger than one
+    #: chunk is tracked as a sequence-numbered chunk bitmap so only the
+    #: chunks the fabric actually dropped are re-issued (O(lost bytes)
+    #: recovery, not O(window)).  64 KiB matches the loss-recovery
+    #: paper's message-level retransmission unit.
+    loss_chunk_bytes: int = 64 * KB
+    #: trunk-link utilization above which the fabric starts ECN-marking
+    #: packets instead of pausing them (there is no PFC in lossy mode)
+    ecn_mark_threshold: float = 0.7
+    #: sender pacing delay applied per ECN mark (DCQCN-style rate cut
+    #: collapsed into a fixed-cost injection hold-off)
+    ecn_pace_delay: float = 5e-6
+    #: how strongly trunk congestion above the mark threshold amplifies
+    #: the base loss probability: effective_p = p * (1 + scale * over)
+    #: where ``over`` is the utilization excess beyond the threshold
+    ecn_loss_scale: float = 8.0
+    #: minimum horizon for the running trunk-utilization estimate used
+    #: by ECN marking (floors the divisor so the first microseconds of
+    #: a run cannot read as 100% utilization)
+    ecn_utilization_horizon: float = 2e-3
+
     # ---- GPU (Tesla P100 over PCIe 3.0 x16) ----
     pcie_bandwidth: float = 10e9               # host<->device staging copy
     pcie_base: float = 5.0e-6                  # cudaMemcpy launch

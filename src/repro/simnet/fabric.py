@@ -659,6 +659,10 @@ class AggregationPlane:
         return result
 
     def _release_at(self, names: List[str], when: float) -> None:
+        # A lossy-fabric retransmit can complete a chunk *after* other
+        # racks' partials already cleared their switch: their slots
+        # were free in the past, so a late discovery releases now.
+        when = max(when, self.sim.now)
         for name in list(names):
             self.sim.call_at(when, self.aggregators[name].release)
 
@@ -666,7 +670,8 @@ class AggregationPlane:
                         state: _ChunkState) -> None:
         if name in state.holds:
             state.holds.remove(name)
-            self.sim.call_at(when, self.aggregators[name].release)
+            self.sim.call_at(max(when, self.sim.now),
+                             self.aggregators[name].release)
 
     # -- reporting ----------------------------------------------------------------
 

@@ -20,6 +20,16 @@ the NIC on every posted data verb and renders a :class:`FaultVerdict`:
   fails fast with a flush status until the channel re-establishes it.
 * ``flap`` — the host's NIC is down for a time window; every data verb
   posted in the window fails fast.
+* ``loss`` — lossy-fabric packet loss (no PFC): like ``drop`` the verb
+  occupies the wire and nothing commits, but the rule's probability is
+  *congestion-coupled*.  On a fat tree, trunk links along the routed
+  path whose utilization exceeds ``CostModel.ecn_mark_threshold`` both
+  ECN-mark the flow (the sender pays ``ecn_pace_delay`` per post) and
+  scale the base loss probability by ``1 + ecn_loss_scale * excess``.
+  On the flat topology there are no trunk links, so ``loss`` is pure
+  probabilistic wire loss.  Arming a ``loss`` rule also switches the
+  recovery layer to chunk-granular selective repeat (see
+  :mod:`repro.core.recovery`).
 * ``straggler`` — a transient slowdown: the verb departs ``delay``
   seconds late but succeeds (can push a transfer past the recovery
   layer's timeout, making spurious retries reachable in tests).
@@ -52,7 +62,8 @@ from .verbs import WcStatus, WorkRequest
 
 
 #: fault kinds that terminate the verb (at most one fires per post)
-TERMINAL_KINDS = ("drop", "blackhole", "partial", "qp_break", "flap")
+TERMINAL_KINDS = ("drop", "blackhole", "partial", "qp_break", "flap",
+                  "loss")
 #: all spec-addressable kinds: the additive straggler delay plus the
 #: switch-plane ``switch_fail`` (queried by the aggregation plane, never
 #: rendered on the verb path)
@@ -134,7 +145,7 @@ class FaultVerdict:
 
     def commit_size(self, size: int) -> int:
         """Bytes that land at the destination (< size for faults)."""
-        if self.kind in ("drop", "blackhole", "flap"):
+        if self.kind in ("drop", "blackhole", "flap", "loss"):
             return 0
         if self.kind in ("partial", "qp_break"):
             return min(int(size * self.frac), size - 1) if size else 0
@@ -224,13 +235,45 @@ class FaultInjector:
         """
         return bool(self.rules)
 
-    def on_post(self, nic, qp, wr: WorkRequest) -> Optional[FaultVerdict]:
+    @property
+    def has_loss(self) -> bool:
+        """Whether any ``loss`` rule is armed (selective-repeat gate)."""
+        return any(rule.kind == "loss" for rule in self.rules)
+
+    def _ecn_factor(self, nic, dst: Optional[str]) -> Tuple[float, float]:
+        """Congestion coupling for one post: (probability multiplier,
+        pacing delay).
+
+        Walks the routed fabric path and takes the hottest trunk link's
+        running utilization; beyond ``ecn_mark_threshold`` the flow is
+        ECN-marked (sender pacing) and its loss probability scales with
+        the excess.  Flat topology / unknown destination → (1, 0).
+        """
+        fabric = getattr(nic.host.cluster, "fabric", None)
+        if fabric is None or dst is None or dst == nic.host.name:
+            return 1.0, 0.0
+        cost = nic.cost
+        now = nic.sim.now
+        horizon = max(now, cost.ecn_utilization_horizon)
+        util = 0.0
+        for link in fabric.route(nic.host.name, dst):
+            if link.trunk:
+                util = max(util, link.utilization(horizon))
+        over = util - cost.ecn_mark_threshold
+        if over <= 0.0:
+            return 1.0, 0.0
+        return 1.0 + cost.ecn_loss_scale * over, cost.ecn_pace_delay
+
+    def on_post(self, nic, qp, wr: WorkRequest,
+                dst: Optional[str] = None) -> Optional[FaultVerdict]:
         """Render the verdict for one posted verb (None = untouched).
 
         Straggler delays accumulate across matching rules; the first
         terminal rule to fire wins and stops evaluation.  RNG draws are
         made only for eligible probabilistic rules, in spec order, so
-        the schedule is deterministic given the workload.
+        the schedule is deterministic given the workload.  ``dst`` (the
+        destination host name, when the caller knows it) feeds the ECN
+        congestion coupling of ``loss`` rules.
         """
         if wr.role == "control" or not self.rules:
             return None
@@ -246,8 +289,13 @@ class FaultInjector:
             rule.seen += 1
             if rule.seen <= rule.skip:
                 continue
-            if rule.probability < 1.0 and \
-                    self._rng.random() >= rule.probability:
+            probability = rule.probability
+            if rule.kind == "loss":
+                factor, pace = self._ecn_factor(nic, dst)
+                probability = min(1.0, probability * factor)
+                delay += pace
+            if probability < 1.0 and \
+                    self._rng.random() >= probability:
                 continue
             rule.fired += 1
             if rule.kind == "straggler":
@@ -265,6 +313,39 @@ class FaultInjector:
                   else WcStatus.RETRY_EXC_ERR)
         return FaultVerdict(kind=terminal.kind, status=status, delay=delay,
                             frac=terminal.frac)
+
+    def on_uplink(self, nic, wr: WorkRequest,
+                  dst: Optional[str] = None) -> bool:
+        """Loss-only consultation for transfers that bypass the verb path.
+
+        Switch-aggregation uplinks book the wire directly instead of
+        posting verbs, so :meth:`on_post` never sees them.  Only
+        ``loss`` rules are evaluated here — the other kinds model
+        NIC/QP failure surfaces those bookings don't traverse.  Returns
+        whether the attempt was lost (the caller re-issues it as
+        retransmit traffic); every loss is logged to :attr:`injected`
+        with its size, keeping the retransmit-byte identity exact.
+        """
+        if wr.role == "control" or not self.has_loss:
+            return False
+        now = nic.sim.now
+        host = nic.host.name
+        for rule in self.rules:
+            if rule.kind != "loss":
+                continue
+            if rule.exhausted() or not rule.matches(now, host, wr.role):
+                continue
+            rule.seen += 1
+            if rule.seen <= rule.skip:
+                continue
+            factor, _ = self._ecn_factor(nic, dst)
+            probability = min(1.0, rule.probability * factor)
+            if probability < 1.0 and self._rng.random() >= probability:
+                continue
+            rule.fired += 1
+            self._log(nic, wr, rule, now)
+            return True
+        return False
 
     def _log(self, nic, wr: WorkRequest, rule: FaultRule, now: float) -> None:
         # wr_id is drawn from a process-global counter and so differs

@@ -363,10 +363,32 @@ class QueuePair:
         self.remote = remote
         remote.remote = self
 
-    def _require_remote(self) -> "QueuePair":
+    def _require_remote(self, wr: Optional[WorkRequest] = None) -> "QueuePair":
+        """Destination endpoint for one verb.
+
+        RC QPs always use the connected remote; a per-WR ``dct_target``
+        (shared/DCT endpoints) overrides it.  On the RC path the target
+        is ``None`` so resolution is the same attribute read as before.
+        """
+        if wr is not None and wr.dct_target is not None:
+            return wr.dct_target
         if self.remote is None:
             raise MemoryError_(f"QP {self.qp_num} is not connected")
         return self.remote
+
+    def _clamp_arrival(self, remote_qp: "QueuePair", end: float) -> float:
+        """Per-QP ordering: a later verb never lands before an earlier
+        one.  RC QPs keep a single watermark; shared QPs override this
+        with a per-destination watermark (DCT orders per target)."""
+        end = max(end, self._last_arrival)
+        self._last_arrival = end
+        return end
+
+    def _get_ingress_chain(self, remote_qp: "QueuePair"):
+        return self._ingress_chain
+
+    def _set_ingress_chain(self, remote_qp: "QueuePair", booking) -> None:
+        self._ingress_chain = booking
 
     # -- posting -----------------------------------------------------------------
 
@@ -436,6 +458,59 @@ class QueuePair:
         sim.call_at(arrival, commit)
 
 
+class SharedQp(QueuePair):
+    """A DCT-style shared connection endpoint (dynamically connected
+    transport): one QP object serves *every* peer, so a NIC talking to
+    N hosts needs O(1) QP state instead of O(N) RC connections.
+
+    Semantics mirror Mellanox DC transport:
+
+    * the destination is named per work request (``wr.dct_target``),
+      not fixed at connect time — :meth:`connect` is a hard error;
+    * the send queue is one FIFO shared across all peers, so a verb to
+      a slow peer head-of-line blocks later verbs to other peers
+      (``_egress_free`` / ``_egress_chain`` stay shared — the DCT
+      scalability trade the loss-recovery paper calls out);
+    * delivery ordering is only guaranteed *per target*: the arrival
+      watermark and priority-mode ingress chains are keyed by the
+      destination endpoint, matching what per-peer RC QPs enforce;
+    * on the receive side the shared QP behaves as an SRQ: every
+      peer's SENDs consume from the one ``_recv_queue`` in FIFO order;
+    * an injected ``qp_break`` has a wider blast radius than RC: the
+      one endpoint carries every peer's traffic, so all of it flushes
+      until the channel layer clears the error state.
+    """
+
+    def __init__(self, nic: "RdmaNic", send_cq: CompletionQueue,
+                 recv_cq: CompletionQueue) -> None:
+        super().__init__(nic, send_cq, recv_cq)
+        self._arrival_by_target: Dict[int, float] = {}
+        self._ingress_chain_by_target: Dict[int, Optional[WireBooking]] = {}
+
+    def connect(self, remote: "QueuePair") -> None:
+        raise MemoryError_(
+            f"shared QP {self.qp_num} is connectionless; name the "
+            f"destination per work request via dct_target")
+
+    def _require_remote(self, wr: Optional[WorkRequest] = None) -> QueuePair:
+        if wr is None or wr.dct_target is None:
+            raise MemoryError_(
+                f"shared QP {self.qp_num} needs wr.dct_target")
+        return wr.dct_target
+
+    def _clamp_arrival(self, remote_qp: QueuePair, end: float) -> float:
+        key = remote_qp.qp_num
+        end = max(end, self._arrival_by_target.get(key, 0.0))
+        self._arrival_by_target[key] = end
+        return end
+
+    def _get_ingress_chain(self, remote_qp: QueuePair):
+        return self._ingress_chain_by_target.get(remote_qp.qp_num)
+
+    def _set_ingress_chain(self, remote_qp: QueuePair, booking) -> None:
+        self._ingress_chain_by_target[remote_qp.qp_num] = booking
+
+
 class RdmaNic:
     """A host's RDMA NIC: MR table, CQs, QPs, and the DMA/wire engine."""
 
@@ -459,6 +534,9 @@ class RdmaNic:
             self.egress_sched = None
             self.ingress_sched = None
         self.registration_time_spent = 0.0
+        #: QP objects this NIC has created — the O(1)-vs-O(N) state
+        #: footprint that shared (DCT) endpoints exist to collapse
+        self.qps_created = 0
 
     # -- memory registration -------------------------------------------------------
 
@@ -480,7 +558,15 @@ class RdmaNic:
 
     def create_qp(self, send_cq: CompletionQueue,
                   recv_cq: Optional[CompletionQueue] = None) -> QueuePair:
+        self.qps_created += 1
         return QueuePair(self, send_cq, recv_cq or send_cq)
+
+    def create_shared_qp(self, send_cq: CompletionQueue,
+                         recv_cq: Optional[CompletionQueue] = None
+                         ) -> SharedQp:
+        """Create a DCT-style shared endpoint (see :class:`SharedQp`)."""
+        self.qps_created += 1
+        return SharedQp(self, send_cq, recv_cq or send_cq)
 
     # -- internal verb execution ---------------------------------------------------
 
@@ -530,13 +616,16 @@ class RdmaNic:
         this is two attribute checks and schedules nothing, so clean
         runs keep bit-identical timing.
         """
-        if qp.broken or (qp.remote is not None and qp.remote.broken):
+        target = wr.dct_target if wr.dct_target is not None else qp.remote
+        if qp.broken or (target is not None and target.broken):
             self._fail(qp, wr, WcStatus.WR_FLUSH_ERR)
             return False, None
         plane = self.host.cluster.fault_plane
         if plane is None:
             return True, None
-        verdict = plane.on_post(self, qp, wr)
+        verdict = plane.on_post(
+            self, qp, wr,
+            dst=target.nic.host.name if target is not None else None)
         if verdict is None:
             return True, None
         if verdict.kind == "blackhole":
@@ -548,8 +637,8 @@ class RdmaNic:
             return False, None
         if verdict.break_qp:
             qp.broken = True
-            if qp.remote is not None:
-                qp.remote.broken = True
+            if target is not None:
+                target.broken = True
         return True, verdict
 
     def _faulted_commit(self, verdict: Optional[FaultVerdict],
@@ -600,7 +689,7 @@ class RdmaNic:
         proceed, verdict = self._fault_gate(qp, wr)
         if not proceed:
             return
-        remote_qp = qp._require_remote()
+        remote_qp = qp._require_remote(wr)
         remote_nic = remote_qp.nic
         try:
             payload, head, tail = self._local_payload(wr)
@@ -612,7 +701,7 @@ class RdmaNic:
             return
 
         if self.egress_sched is not None and remote_nic.ingress_sched is not None:
-            self._execute_write_prio(qp, wr, remote_nic, payload, head, tail,
+            self._execute_write_prio(qp, wr, remote_qp, payload, head, tail,
                                      dest_buf, dest_off, verdict)
             return
 
@@ -630,8 +719,7 @@ class RdmaNic:
             end = remote_nic.ingress.reserve_after(
                 path.first_bit, wr.size, path.last_byte)
         # Per-QP ordering: a later verb never lands before an earlier one.
-        end = max(end, qp._last_arrival)
-        qp._last_arrival = end
+        end = qp._clamp_arrival(remote_qp, end)
 
         self._faulted_commit(verdict, dest_buf.backing, dest_off, wr.size,
                              payload, start, end, head, tail,
@@ -652,7 +740,7 @@ class RdmaNic:
                          if wr.signaled else end)
 
     def _execute_write_prio(self, qp: QueuePair, wr: WorkRequest,
-                            remote_nic: "RdmaNic",
+                            remote_qp: QueuePair,
                             payload: Optional[bytes], head: bytes,
                             tail: bytes, dest_buf, dest_off: int,
                             verdict: Optional[FaultVerdict] = None) -> None:
@@ -667,15 +755,16 @@ class RdmaNic:
         (``egress end + propagation``).
         """
         posted = self.sim.now
+        remote_nic = remote_qp.nic
         latency = self._fabric_latency(remote_nic)
         extra = verdict.delay if verdict is not None else 0.0
         depart = posted + self.cost.rdma_verb_overhead + extra
         eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
                                       after=qp._egress_chain)
         qp._egress_chain = eb
-        ib = remote_nic.ingress_sched.hold(wr.size, wr.priority,
-                                           after=qp._ingress_chain)
-        qp._ingress_chain = ib
+        ib = remote_nic.ingress_sched.hold(
+            wr.size, wr.priority, after=qp._get_ingress_chain(remote_qp))
+        qp._set_ingress_chain(remote_qp, ib)
         eb.on_start = lambda: remote_nic.ingress_sched.release(
             ib, eb.first_start + latency)
 
@@ -712,7 +801,7 @@ class RdmaNic:
         proceed, verdict = self._fault_gate(qp, wr)
         if not proceed:
             return
-        remote_qp = qp._require_remote()
+        remote_qp = qp._require_remote(wr)
         remote_nic = remote_qp.nic
         try:
             remote_region = remote_nic.mr_table.lookup(wr.rkey, wr.remote_addr, wr.size)
@@ -728,7 +817,7 @@ class RdmaNic:
         dest_off = wr.local_addr - dest_buf.addr
 
         if self.ingress_sched is not None and remote_nic.egress_sched is not None:
-            self._execute_read_prio(qp, wr, remote_nic, payload, head, tail,
+            self._execute_read_prio(qp, wr, remote_qp, payload, head, tail,
                                     dest_buf, dest_off, verdict)
             return
 
@@ -748,8 +837,7 @@ class RdmaNic:
         else:
             end = self.ingress.reserve_after(
                 path.first_bit, wr.size, path.last_byte)
-        end = max(end, qp._last_arrival)
-        qp._last_arrival = end
+        end = qp._clamp_arrival(remote_qp, end)
 
         self._faulted_commit(verdict, dest_buf.backing, dest_off, wr.size,
                              payload, start, end, head, tail,
@@ -768,7 +856,7 @@ class RdmaNic:
                          if wr.signaled else end)
 
     def _execute_read_prio(self, qp: QueuePair, wr: WorkRequest,
-                           remote_nic: "RdmaNic", payload: Optional[bytes],
+                           remote_qp: QueuePair, payload: Optional[bytes],
                            head: bytes, tail: bytes, dest_buf,
                            dest_off: int,
                            verdict: Optional[FaultVerdict] = None) -> None:
@@ -781,6 +869,7 @@ class RdmaNic:
         not occupy the local egress either.
         """
         posted = self.sim.now
+        remote_nic = remote_qp.nic
         latency = remote_nic._fabric_latency(self)
         extra = verdict.delay if verdict is not None else 0.0
         request_arrives = (posted + self.cost.rdma_verb_overhead + extra
@@ -788,9 +877,9 @@ class RdmaNic:
         reb = remote_nic.egress_sched.submit(wr.size, wr.priority,
                                              data_ready=request_arrives,
                                              after=qp._egress_chain)
-        ib = self.ingress_sched.hold(wr.size, wr.priority,
-                                     after=qp._ingress_chain)
-        qp._ingress_chain = ib
+        ib = self.ingress_sched.hold(
+            wr.size, wr.priority, after=qp._get_ingress_chain(remote_qp))
+        qp._set_ingress_chain(remote_qp, ib)
         reb.on_start = lambda: self.ingress_sched.release(
             ib, reb.first_start + latency)
 
@@ -825,7 +914,7 @@ class RdmaNic:
         proceed, verdict = self._fault_gate(qp, wr)
         if not proceed:
             return
-        remote_qp = qp._require_remote()
+        remote_qp = qp._require_remote(wr)
         try:
             payload, head, tail = self._local_payload(wr)
         except MemoryError_:
@@ -850,8 +939,7 @@ class RdmaNic:
         else:
             arrival = remote_qp.nic.ingress.reserve_after(
                 path.first_bit, wr.size, path.last_byte)
-        arrival = max(arrival, qp._last_arrival)
-        qp._last_arrival = arrival
+        arrival = qp._clamp_arrival(remote_qp, arrival)
 
         data = payload if payload is not None else b""
         size = wr.size
@@ -887,9 +975,9 @@ class RdmaNic:
         eb = self.egress_sched.submit(wr.size, wr.priority, data_ready=depart,
                                       after=qp._egress_chain)
         qp._egress_chain = eb
-        ib = remote_nic.ingress_sched.hold(wr.size, wr.priority,
-                                           after=qp._ingress_chain)
-        qp._ingress_chain = ib
+        ib = remote_nic.ingress_sched.hold(
+            wr.size, wr.priority, after=qp._get_ingress_chain(remote_qp))
+        qp._set_ingress_chain(remote_qp, ib)
         eb.on_start = lambda: remote_nic.ingress_sched.release(
             ib, eb.first_start + latency)
         data = payload if payload is not None else b""

@@ -70,6 +70,12 @@ ROLE_INNETWORK_RESULT = "in-network-result"
 #: the spine, spine results back down) — kept distinct from the
 #: host-edge roles so per-worker wire-byte identities stay clean
 ROLE_INNETWORK_TRUNK = "in-network-trunk"
+#: selective-repeat retransmission of a chunk the lossy fabric dropped.
+#: Every first attempt keeps its original protocol role (so goodput
+#: identities are unchanged by loss); every re-issue carries this role,
+#: which makes "retransmitted bytes == lost bytes" directly measurable
+#: from the metrics stream.
+ROLE_RETRANSMIT = "retransmit"
 
 #: wire-scheduler urgency tiers for co-located serving + training.
 #: Gradient buckets use small non-negative priorities (bucket index),
@@ -108,6 +114,11 @@ class WorkRequest:
     #: only honoured when the NIC runs the priority quantum scheduler
     #: (``CostModel.wire_quantum_bytes > 0``), ignored otherwise
     priority: int = 0
+    #: DCT-style per-WR destination: on a shared (DC initiator) queue
+    #: pair the remote endpoint is named per work request instead of
+    #: being fixed at connect time.  ``None`` on RC QPs — the connected
+    #: remote applies — which keeps the RC path bit-identical.
+    dct_target: Optional[object] = None
     wr_id: int = field(default_factory=next_wr_id)
 
     def __post_init__(self) -> None:

@@ -11,7 +11,10 @@ recalibration, say), re-record these constants in that PR and say so
 in its description.
 """
 
+from dataclasses import replace
+
 from repro.distributed import run_training_benchmark
+from repro.distributed.runner import comm_config, swap_comm_config
 from repro.models import get_model
 from repro.workloads import run_microbench
 
@@ -32,15 +35,19 @@ def test_microbench_clock_bit_identical():
     assert repr(result.transfer_seconds) == GOLDEN_MICROBENCH_RDMA_4MB
 
 
-def _iteration_reprs(num_servers, strategy, priority_sched):
+def _iteration_reprs(num_servers, strategy, priority_sched, qp_mode="rc"):
     kwargs = {}
     if strategy != "ps":
         kwargs["strategy"] = strategy
     if priority_sched:
         kwargs["priority_sched"] = True
-    bench = run_training_benchmark(get_model("GRU"), "RDMA",
-                                   num_servers=num_servers, batch_size=8,
-                                   iterations=2, **kwargs)
+    previous = swap_comm_config(replace(comm_config(), qp_mode=qp_mode))
+    try:
+        bench = run_training_benchmark(get_model("GRU"), "RDMA",
+                                       num_servers=num_servers, batch_size=8,
+                                       iterations=2, **kwargs)
+    finally:
+        swap_comm_config(previous)
     return [repr(t) for t in bench.stats.iteration_times]
 
 
@@ -60,4 +67,24 @@ def test_gru_halving_doubling_clock_bit_identical():
 
 def test_gru_ring_priority_clock_bit_identical():
     assert (_iteration_reprs(3, "ring", True)
+            == GOLDEN_GRU[(3, "ring", True)])
+
+
+def test_gru_ps_shared_qp_clock_bit_identical():
+    """DCT-style shared endpoints must keep loss-free clocks pinned to
+    the RC constants: connection multiplexing changes QP state, never
+    loss-free wire timing."""
+    assert (_iteration_reprs(2, "ps", False, qp_mode="shared")
+            == GOLDEN_GRU[(2, "ps", False)])
+
+
+def test_gru_ring_shared_qp_clock_bit_identical():
+    assert (_iteration_reprs(4, "ring", False, qp_mode="shared")
+            == GOLDEN_GRU[(4, "ring", False)])
+
+
+def test_gru_ring_priority_shared_qp_clock_bit_identical():
+    """Shared endpoints under the priority quantum scheduler: the
+    per-destination prio ingress chains keep the RC clock exactly."""
+    assert (_iteration_reprs(3, "ring", True, qp_mode="shared")
             == GOLDEN_GRU[(3, "ring", True)])

@@ -23,7 +23,7 @@ from repro.distributed import run_training_benchmark
 from repro.models import get_model
 from repro.simnet.verbs import (ROLE_INNETWORK_AGGREGATE,
                                 ROLE_INNETWORK_RESULT,
-                                ROLE_INNETWORK_TRUNK)
+                                ROLE_INNETWORK_TRUNK, ROLE_RETRANSMIT)
 
 
 @pytest.fixture(scope="module")
@@ -127,6 +127,93 @@ def test_innetwork_trunk_identity(fcn5):
     per_rack = innetwork_uplink_bytes(M, racks)
     assert per_rack == 2 * M
     assert trunk / (racks * steady) == pytest.approx(per_rack, rel=0.01)
+
+
+def _total_bytes_by_role(result):
+    """Whole-run wire bytes by role (no steady window): comparable to
+    the fault plane's whole-run injected log."""
+    by_role = {}
+    for t in result.metrics.transfers:
+        by_role[t.role] = by_role.get(t.role, 0) + t.nbytes
+    return by_role
+
+
+def _injected_loss_bytes(result):
+    log = result.stats.faults["injected"]["log"]
+    return sum(e["size"] for e in log if e["kind"] == "loss")
+
+
+def test_ring_loss_retransmit_byte_identity(fcn5):
+    """The loss-tolerant transport's wire accounting, both halves:
+
+    * goodput identity — every original role's byte total is exactly
+      the loss-free volume (first attempts keep their role, even when
+      the fabric eats them, and late originals are never re-sent);
+    * retransmit identity — ``ROLE_RETRANSMIT`` bytes equal the
+      injected-loss bytes exactly, one re-issue per loss event.
+    """
+    n = 4
+    clean = _run(fcn5, "ring", n)
+    lossy = _run(fcn5, "ring", n, loss_rate=2e-3, fault_seed=5)
+    clean_roles = _total_bytes_by_role(clean)
+    lossy_roles = _total_bytes_by_role(lossy)
+    lost = _injected_loss_bytes(lossy)
+    assert lost > 0, "seed produced no losses; pick another"
+    recovery = lossy.stats.faults["recovery"]
+    assert recovery["gave_up"] == 0
+    retransmitted = lossy_roles.pop(ROLE_RETRANSMIT)
+    assert retransmitted == lost
+    assert retransmitted == recovery["retransmitted_bytes"]
+    assert lossy_roles == clean_roles
+
+
+def test_hierarchical_loss_retransmit_byte_identity(fcn5):
+    n, hosts_per_rack = 8, 4
+    kwargs = dict(topology="fat-tree", hosts_per_rack=hosts_per_rack)
+    clean = _run(fcn5, "hierarchical", n, **kwargs)
+    lossy = _run(fcn5, "hierarchical", n, loss_rate=2e-3, fault_seed=5,
+                 **kwargs)
+    lost = _injected_loss_bytes(lossy)
+    assert lost > 0
+    assert lossy.stats.faults["recovery"]["gave_up"] == 0
+    clean_roles = _total_bytes_by_role(clean)
+    lossy_roles = _total_bytes_by_role(lossy)
+    assert lossy_roles.pop(ROLE_RETRANSMIT) == lost
+    assert lossy_roles == clean_roles
+
+
+def test_innetwork_loss_retransmit_byte_identity(fcn5):
+    """Aggregation uplinks bypass the verb path; their loss hook must
+    keep the same identity: lost uplink chunks burn wire under their
+    original role and come back as exactly-matching retransmit bytes."""
+    n = 8
+    kwargs = dict(topology="fat-tree", hosts_per_rack=4)
+    clean = _run(fcn5, "innetwork", n, **kwargs)
+    lossy = _run(fcn5, "innetwork", n, loss_rate=2e-3, fault_seed=5,
+                 **kwargs)
+    lost = _injected_loss_bytes(lossy)
+    assert lost > 0
+    clean_roles = _total_bytes_by_role(clean)
+    lossy_roles = _total_bytes_by_role(lossy)
+    assert lossy_roles.pop(ROLE_RETRANSMIT, 0) == lost
+    assert lossy_roles == clean_roles
+
+
+def test_loss_free_metrics_identical_in_shared_qp_mode(fcn5):
+    """Same transfers, same roles, same bytes: the shared-endpoint data
+    plane moves identical wire traffic to RC when nothing is lost."""
+    from dataclasses import replace
+
+    from repro.distributed.runner import comm_config, swap_comm_config
+
+    rc = _run(fcn5, "ring", 4)
+    previous = swap_comm_config(replace(comm_config(), qp_mode="shared"))
+    try:
+        shared = _run(fcn5, "ring", 4)
+    finally:
+        swap_comm_config(previous)
+    assert _total_bytes_by_role(shared) == _total_bytes_by_role(rc)
+    assert shared.stats.iteration_times == rc.stats.iteration_times
 
 
 def test_innetwork_beats_ring_on_the_wire(fcn5):
