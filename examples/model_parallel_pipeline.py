@@ -1,61 +1,64 @@
 #!/usr/bin/env python
-"""Model parallelism: pipeline a large model's layers across servers.
+"""Pipeline parallelism: microbatched schedules over RDMA stage links.
 
 §2.1 of the paper motivates model parallelism for models too large for
 one device; the same partitioning + transfer machinery handles it —
 only what crosses the network changes (activations instead of
-parameters).  This example splits VGGNet-16 into pipeline stages,
-trains steps under gRPC.TCP and RDMA, and reports the per-boundary
-traffic using the metrics collector.
+parameters).  This example splits the 1.4 GB GPT-350M transformer into
+pipeline stages, cuts the mini-batch into microbatches, and runs both
+supported schedules end to end:
+
+* **GPipe** — all forwards, then all backwards; activations are
+  discarded between the phases and rematerialized (recomputed) at the
+  start of each backward microbatch;
+* **1F1B**  — each stage warms up, then alternates one-forward/
+  one-backward, bounding live activations without recompute.
+
+Each run is traced, and the bubble report decomposes the measured step
+into useful compute vs pipeline bubble per stage — the decomposition
+sums back to the step time exactly.
 
 Run:  python examples/model_parallel_pipeline.py
 """
 
-from repro.core import RdmaCommRuntime
-from repro.distributed import build_model_parallel_graph, split_stages
-from repro.distributed.rpc_comm import GrpcCommRuntime
-from repro.graph import Session
+from repro.distributed import split_stages
+from repro.distributed.model_parallel import pipeline_bubble_report
+from repro.distributed.runner import run_training_benchmark
 from repro.models import get_model
-from repro.simnet import Cluster
 
 
 STAGES = 4
-BATCH = 64
+BATCH = 8
+MICROBATCHES = 4
 
 
 def main() -> None:
-    spec = get_model("VGGNet-16")
+    spec = get_model("GPT-350M")
     stages = split_stages(spec, STAGES)
     print(f"{spec.name} ({spec.model_mb:.0f} MB) split into {STAGES} "
           "pipeline stages:")
     for index, layers in enumerate(stages):
         nbytes = sum(spec.variables[i].nbytes for i in layers)
-        names = [spec.variables[i].name for i in layers[:2]]
-        print(f"  stage{index}: {len(layers)} layers, "
-              f"{nbytes / 2**20:6.1f} MB  (starts at {names[0]})")
+        first = spec.variables[layers[0]].name
+        print(f"  stage{index}: {len(layers)} tensors, "
+              f"{nbytes / 2**20:6.1f} MB  (starts at {first})")
+    print()
 
-    # VGG's fc-layer activations are 25088 floats per sample.
-    job = build_model_parallel_graph(spec, num_stages=STAGES,
-                                     batch_size=BATCH,
-                                     activation_elements_per_sample=25088)
-    print(f"\nactivations per boundary: {job.activation_bytes / 2**20:.1f} "
-          f"MB; cross-stage bytes/step: "
-          f"{job.cross_stage_bytes_per_step / 2**20:.1f} MB "
-          f"(the 512 MB of weights never move)\n")
-
-    for label, comm in (("gRPC.TCP", GrpcCommRuntime(transport="tcp")),
-                        ("RDMA", RdmaCommRuntime())):
-        fresh = build_model_parallel_graph(spec, num_stages=STAGES,
-                                           batch_size=BATCH,
-                                           activation_elements_per_sample=25088)
-        cluster = Cluster(STAGES)
-        hosts = {f"stage{i}": cluster.hosts[i] for i in range(STAGES)}
-        session = Session(cluster, fresh.graph, hosts, comm=comm)
-        metrics = cluster.enable_metrics()
-        stats = session.run(iterations=4)
-        print(f"{label:>9}: {stats.steady_state_time * 1e3:7.2f} ms/step   "
-              f"wire traffic: {metrics.total_bytes() / 2**20:.1f} MB "
-              f"over {metrics.count()} transfers")
+    for schedule in ("gpipe", "1f1b"):
+        bench = run_training_benchmark(
+            spec, "RDMA", num_servers=STAGES, batch_size=BATCH,
+            iterations=3, strategy="llm", microbatches=MICROBATCHES,
+            schedule=schedule, collect_trace=True)
+        report = pipeline_bubble_report(bench.pipeline,
+                                        bench.stall_report())
+        wire_mb = bench.pipeline.cross_stage_bytes_per_step / 2**20
+        print(f"{schedule:>5}: {bench.step_time * 1e3:8.2f} ms/step   "
+              f"bubble {report['bubble_fraction'] * 100:5.1f}%   "
+              f"useful {report['useful_fraction'] * 100:5.1f}%   "
+              f"activations on the wire: {wire_mb:.1f} MB/step   "
+              f"(residual {report['accounting_residual_s']:+.1e} s)")
+    print(f"\nthe {spec.model_mb:.0f} MB of weights never move; 1F1B wins "
+          "by skipping GPipe's rematerialized forward passes")
 
 
 if __name__ == "__main__":

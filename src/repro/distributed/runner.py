@@ -43,6 +43,8 @@ from ..simnet.metrics import MetricsCollector
 from ..simnet.topology import Cluster
 from .allreduce import (ALLREDUCE_ALGORITHMS, AllreduceTrainingJob,
                         build_allreduce_training_graph)
+from .model_parallel import (SCHEDULES, PipelineJob,
+                             build_model_parallel_graph)
 from .replication import TrainingJob, build_training_graph
 from .rpc_comm import GrpcCommRuntime
 
@@ -51,9 +53,14 @@ MECHANISMS = ("gRPC.TCP", "gRPC.RDMA", "RDMA", "RDMA.cp", "RDMA.gpu",
               "RDMA+GDR", "Local")
 
 STRATEGIES = ("ps", "ring", "halving-doubling", "hierarchical",
-              "innetwork")
+              "innetwork", "llm")
 
 TOPOLOGIES = ("flat", "fat-tree")
+
+#: pipeline-schedule fallbacks when neither the call site nor the comm
+#: config pins them (``strategy="llm"``)
+DEFAULT_MICROBATCHES = 4
+DEFAULT_SCHEDULE = "1f1b"
 
 
 def resolve_trace_hosts(spec: str, num_servers: int,
@@ -148,6 +155,15 @@ class CommConfig:
     #: a comma-separated name list or an integer prefix count; None
     #: keeps every host
     trace_hosts: Optional[str] = None
+    #: pipeline-parallel (``llm`` strategy) shape (``--pipeline-stages``):
+    #: None lets each caller pick (llmtrain sweeps 2/4/8)
+    pipeline_stages: Optional[int] = None
+    #: microbatches per mini-batch for the pipeline schedules
+    #: (``--microbatches``); None = :data:`DEFAULT_MICROBATCHES`
+    microbatches: Optional[int] = None
+    #: pipeline schedule (``--schedule``): ``"gpipe"`` or ``"1f1b"``;
+    #: None = :data:`DEFAULT_SCHEDULE` (and llmtrain runs both)
+    schedule: Optional[str] = None
 
     def trace_budget(self, num_servers: int,
                      name_prefix: str = "server") -> Optional[TraceBudget]:
@@ -229,7 +245,10 @@ def configure_comm(num_cqs: Optional[int] = None,
                    oversubscription: Optional[float] = None,
                    collective: Optional[str] = None,
                    trace_sample: Optional[float] = None,
-                   trace_hosts: Optional[str] = None) -> CommConfig:
+                   trace_hosts: Optional[str] = None,
+                   pipeline_stages: Optional[int] = None,
+                   microbatches: Optional[int] = None,
+                   schedule: Optional[str] = None) -> CommConfig:
     """Override selected comm-runtime knobs; returns the new config."""
     global _COMM_CONFIG
     changes = {}
@@ -316,6 +335,19 @@ def configure_comm(num_cqs: Optional[int] = None,
         # checked against num_servers at run time).
         resolve_trace_hosts(trace_hosts, num_servers=1 << 30)
         changes["trace_hosts"] = trace_hosts
+    if pipeline_stages is not None:
+        if pipeline_stages < 1:
+            raise ValueError("pipeline_stages must be at least 1")
+        changes["pipeline_stages"] = pipeline_stages
+    if microbatches is not None:
+        if microbatches < 1:
+            raise ValueError("microbatches must be at least 1")
+        changes["microbatches"] = microbatches
+    if schedule is not None:
+        if schedule not in SCHEDULES:
+            raise ValueError(f"unknown schedule {schedule!r}; "
+                             f"have {SCHEDULES}")
+        changes["schedule"] = schedule
     _COMM_CONFIG = replace(_COMM_CONFIG, **changes)
     return _COMM_CONFIG
 
@@ -412,6 +444,11 @@ class BenchmarkResult:
     #: plane's per-switch occupancy/spill stats); None unless the run
     #: actually built switch-aggregated collectives
     innetwork: Optional[Dict[str, object]] = None
+    #: the built pipeline job (``llm`` strategy only): stage layout,
+    #: per-stage compute model, schedule — what
+    #: :func:`repro.distributed.model_parallel.pipeline_bubble_report`
+    #: consumes together with :meth:`stall_report`
+    pipeline: Optional[PipelineJob] = None
 
     def link_stats(self) -> Dict[str, Dict]:
         """Per-trunk-link bytes/queueing/utilization (empty when flat)."""
@@ -500,6 +537,8 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            fault_spec: Optional[str] = None,
                            fault_seed: Optional[int] = None,
                            loss_rate: Optional[float] = None,
+                           microbatches: Optional[int] = None,
+                           schedule: Optional[str] = None,
                            topology: Optional[str] = None,
                            racks: Optional[int] = None,
                            hosts_per_rack: Optional[int] = None,
@@ -564,7 +603,34 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            wire_quantum_bytes=DEFAULT_WIRE_QUANTUM_BYTES)
     local = mechanism == "Local"
     predicted: Optional[float] = None
-    if strategy == "ps" or local:
+    if strategy == "llm":
+        # Pipeline-parallel training: one stage per server, the
+        # mini-batch cut into microbatches, boundary activations as
+        # static RDMA writes.  The stage count is the server count.
+        if local:
+            raise ValueError("the llm strategy pipelines across servers; "
+                             "it has no Local mode")
+        if microbatches is None:
+            microbatches = (_COMM_CONFIG.microbatches
+                            if _COMM_CONFIG.microbatches is not None
+                            else DEFAULT_MICROBATCHES)
+        if schedule is None:
+            schedule = (_COMM_CONFIG.schedule
+                        if _COMM_CONFIG.schedule is not None
+                        else DEFAULT_SCHEDULE)
+        # Transformers ship real sequence activations (seq_len x
+        # hidden per sample); other specs keep the generic width.
+        elements = 4096
+        seq_len = getattr(spec, "seq_len", None)
+        hidden = getattr(spec, "hidden", None)
+        if seq_len and hidden:
+            elements = seq_len * hidden
+        job = build_model_parallel_graph(
+            spec, num_stages=num_servers, batch_size=batch_size,
+            activation_elements_per_sample=elements,
+            microbatches=microbatches, schedule=schedule)
+        predicted = job.cross_stage_bytes_per_step / max(num_servers, 1)
+    elif strategy == "ps" or local:
         job = build_training_graph(spec,
                                    num_workers=1 if local else num_servers,
                                    batch_size=batch_size, local=local,
@@ -620,6 +686,10 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
     for device in job.devices:
         if device == "local0":
             device_hosts[device] = cluster.hosts[0]
+        elif device.startswith("stage"):
+            # Pipeline stages: stripping the worker/ps letter set would
+            # eat the "s"/"e" of "stage", so peel the prefix exactly.
+            device_hosts[device] = cluster.hosts[int(device[len("stage"):])]
         else:
             index = int(device.lstrip("workerps"))
             device_hosts[device] = cluster.hosts[index]
@@ -680,4 +750,6 @@ def run_training_benchmark(spec: ModelSpec, mechanism: str,
                            sim_horizon=cluster.sim.now,
                            sim_events=cluster.sim.event_count,
                            incidents=incidents,
-                           innetwork=innetwork_snapshot)
+                           innetwork=innetwork_snapshot,
+                           pipeline=(job if isinstance(job, PipelineJob)
+                                     else None))

@@ -14,8 +14,9 @@ import sys
 import time
 
 from ..core.device import QP_MODES
-from ..distributed.runner import (MECHANISMS, TOPOLOGIES, comm_config,
-                                  configure_comm, resolve_trace_hosts)
+from ..distributed.runner import (MECHANISMS, SCHEDULES, TOPOLOGIES,
+                                  comm_config, configure_comm,
+                                  resolve_trace_hosts)
 from ..distributed.allreduce import ALLREDUCE_ALGORITHMS
 from ..serving.config import configure_serving
 from ..observability.capture import (configure_capture, flush_capture,
@@ -143,6 +144,27 @@ def main(argv=None) -> int:
                                       "trace; overflow is counted in an "
                                       "explicit truncation marker "
                                       "(default 1000000)")
+    pipeline_group = parser.add_argument_group(
+        "pipeline", "pipeline-parallel transformer training (the 'llm' "
+                    "strategy and the 'llmtrain' experiment)")
+    pipeline_group.add_argument("--pipeline-stages", type=int, default=None,
+                                metavar="N",
+                                help="pipeline stages for the llm strategy, "
+                                     "clamped to the model's variable count; "
+                                     "pins the llmtrain sweep to one stage "
+                                     "count (default: sweep 2/4/8)")
+    pipeline_group.add_argument("--microbatches", type=int, default=None,
+                                metavar="N",
+                                help="microbatches per training step; the "
+                                     "global batch must divide evenly "
+                                     "(default 4)")
+    pipeline_group.add_argument("--schedule", choices=SCHEDULES, default=None,
+                                help="pipeline schedule: 'gpipe' runs all "
+                                     "forwards then all backwards (pays "
+                                     "activation rematerialization); '1f1b' "
+                                     "interleaves to bound live activations "
+                                     "(default; llmtrain sweeps both unless "
+                                     "pinned)")
     serving_group = parser.add_argument_group(
         "serving", "knobs for the inference serving plane (the 'serving' "
                    "experiment)")
@@ -165,6 +187,14 @@ def main(argv=None) -> int:
                                metavar="MS",
                                help="latency objective for SLO-attainment "
                                     "accounting (default 25)")
+    serving_group.add_argument("--kv-budget-mb", type=float, default=None,
+                               metavar="MB",
+                               help="per-replica KV-cache byte budget for "
+                                    "LLM serving (default 2048)")
+    serving_group.add_argument("--max-width", type=int, default=None,
+                               metavar="N",
+                               help="continuous batching: running-batch "
+                                    "width cap per replica (default 16)")
     args = parser.parse_args(argv)
 
     unknown = [name for name in args.experiments
@@ -237,12 +267,17 @@ def main(argv=None) -> int:
                    oversubscription=args.oversubscription,
                    collective=args.collective,
                    trace_sample=args.trace_sample,
-                   trace_hosts=args.trace_hosts)
+                   trace_hosts=args.trace_hosts,
+                   pipeline_stages=args.pipeline_stages,
+                   microbatches=args.microbatches,
+                   schedule=args.schedule)
     configure_serving(replicas=args.replicas,
                       qps=args.qps,
                       max_batch=args.max_batch,
                       batch_timeout=args.batch_timeout,
-                      slo_ms=args.slo_ms)
+                      slo_ms=args.slo_ms,
+                      kv_budget_mb=args.kv_budget_mb,
+                      max_width=args.max_width)
     if capturing:
         from ..observability.capture import DEFAULT_TRACE_EVENT_CAP
         configure_capture(trace_out=args.trace_out,

@@ -26,7 +26,11 @@ benchmark's configuration and comparing per-metric:
   lossy step time, the exact retransmitted-byte and loss-event counts
   (deterministic under the committed fault seed), the
   retransmit-overhead bound (``retx <= k x lost``, no exhausted retry
-  budgets), and the loss-free RC/shared-QP clock identity.
+  budgets), and the loss-free RC/shared-QP clock identity;
+* ``llm`` — one pipeline-training stage count of ``BENCH_llm.json``
+  under both schedules (step times, the "1F1B bubbles less than
+  GPipe" bit) plus the continuous vs best-static serving cells
+  (decode throughput, TTFT p99, the zero-KV-leak invariant).
 
 Exit status is nonzero when any gated metric regresses beyond its
 tolerance, which is what lets CI fail the build.  ``--json`` dumps
@@ -64,7 +68,7 @@ DEFAULT_OVERLAP_MODELS = ("AlexNet", "FCN-5")
 #: how many gate records --trajectory keeps in BENCH_telemetry.json
 TRAJECTORY_KEEP = 20
 
-PROBES = ("overlap", "scale", "serving", "netreduce", "lossy")
+PROBES = ("overlap", "scale", "serving", "netreduce", "lossy", "llm")
 
 
 @dataclass
@@ -405,9 +409,118 @@ def probe_lossy(report: GateReport, baseline_dir: str,
             "modes (baseline: bit-identical)")
 
 
+def probe_llm(report: GateReport, baseline_dir: str, tolerance: float,
+              stages: int = 4) -> None:
+    """Re-run one pipeline-training stage count and both serving modes."""
+    from ..distributed.model_parallel import pipeline_bubble_report
+    from ..distributed.runner import run_training_benchmark
+    from ..llm import run_llm_serving_benchmark
+
+    baseline = _load_baseline(baseline_dir, "BENCH_llm.json")
+    if baseline is None:
+        report.errors.append("llm: no BENCH_llm.json baseline")
+        return
+
+    train = baseline.get("train")
+    if train is None:
+        report.errors.append("llm: baseline has no 'train' section")
+    else:
+        config = train["config"]
+        spec = get_model(config["model"])
+        fresh = {}
+        for schedule in ("gpipe", "1f1b"):
+            base_cell = next((c for c in train["cells"]
+                              if c["stages"] == stages
+                              and c["schedule"] == schedule), None)
+            if base_cell is None:
+                report.errors.append(f"llm: no {schedule} baseline at "
+                                     f"s={stages}")
+                continue
+            bench = run_training_benchmark(
+                spec, "RDMA", num_servers=stages,
+                batch_size=config["batch_size"],
+                iterations=config["iterations"], strategy="llm",
+                microbatches=config["microbatches"], schedule=schedule,
+                collect_trace=True)
+            if bench.crashed:
+                report.errors.append(f"llm: {schedule}/s{stages} crashed: "
+                                     f"{bench.crash_reason}")
+                continue
+            bubble = pipeline_bubble_report(bench.pipeline,
+                                            bench.stall_report())
+            fresh[schedule] = bubble
+            report.add(Check("llm", f"s{stages}.{schedule}.step_ms",
+                             base_cell["step_ms"], bench.step_time * 1e3,
+                             "lower_better", tolerance))
+            report.add(Check("llm", f"s{stages}.{schedule}.bubble_fraction",
+                             base_cell["bubble_fraction"],
+                             bubble["bubble_fraction"], "lower_better",
+                             tolerance))
+        if len(fresh) == 2 and train.get("onef1b_beats_gpipe_at_4plus") \
+                and stages >= 4 and not (fresh["1f1b"]["bubble_fraction"]
+                                         < fresh["gpipe"]["bubble_fraction"]):
+            report.errors.append(
+                f"llm: 1f1b no longer bubbles less than gpipe at "
+                f"s={stages} ({fresh['1f1b']['bubble_fraction']:.4f} vs "
+                f"{fresh['gpipe']['bubble_fraction']:.4f})")
+
+    serve = baseline.get("serve")
+    if serve is None:
+        report.errors.append("llm: baseline has no 'serve' section")
+        return
+    config = serve["config"]
+    spec = get_model(config["model"])
+    static_rows = [r for r in serve["runs"] if r["mode"] == "static"]
+    base_cont = next((r for r in serve["runs"]
+                      if r["mode"] == "continuous"), None)
+    base_static = (max(static_rows,
+                       key=lambda r: r["decode_tokens_per_s"])
+                   if static_rows else None)
+    if base_cont is None or base_static is None:
+        report.errors.append("llm: serve baseline is missing a mode")
+        return
+    common = dict(replicas=config["replicas"], qps=config["qps"],
+                  requests=config["requests"], seed=config["seed"],
+                  max_batch=config["max_batch"],
+                  max_width=config["max_width"],
+                  kv_budget_bytes=int(config["kv_budget_mb"] * MB))
+    cont = run_llm_serving_benchmark(spec, mode="continuous", **common)
+    static = run_llm_serving_benchmark(
+        spec, mode="static", batch_timeout=base_static["batch_timeout"],
+        **common)
+    for label, base_row, run in (("continuous", base_cont, cont),
+                                 ("static", base_static, static)):
+        report.add(Check("llm", f"{label}.decode_tokens_per_s",
+                         base_row["decode_tokens_per_s"],
+                         run.decode_tokens_per_s, "higher_better",
+                         tolerance))
+        report.add(Check("llm", f"{label}.ttft_p99_s",
+                         base_row["ttft"]["p99"],
+                         run.ttft.get("p99", 0.0), "lower_better",
+                         tolerance))
+        report.add(Check("llm", f"{label}.completed",
+                         base_row["completed"], run.completed,
+                         "match", tolerance))
+        if run.kv_leaked_bytes:
+            report.errors.append(
+                f"llm: {label} leaked {run.kv_leaked_bytes} KV-cache "
+                f"bytes after drain (admission/eviction accounting "
+                f"invariant: 0)")
+    if serve.get("continuous_beats_static") \
+            and not (cont.decode_tokens_per_s > static.decode_tokens_per_s
+                     and cont.ttft.get("p99", 0.0)
+                     <= static.ttft.get("p99", 0.0)):
+        report.errors.append(
+            f"llm: continuous batching no longer beats the best static "
+            f"cell ({cont.decode_tokens_per_s:.0f} vs "
+            f"{static.decode_tokens_per_s:.0f} tok/s; TTFT p99 "
+            f"{cont.ttft.get('p99', 0.0) * 1e3:.1f} vs "
+            f"{static.ttft.get('p99', 0.0) * 1e3:.1f} ms)")
+
+
 _PROBE_FNS = {"overlap": probe_overlap, "scale": probe_scale,
               "serving": probe_serving, "netreduce": probe_netreduce,
-              "lossy": probe_lossy}
+              "lossy": probe_lossy, "llm": probe_llm}
 
 
 # -- trajectory ------------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""The transformer/LLM workload subsystem, spanning both planes.
+
+Training: transformer specs in the model zoo plus the microbatched
+pipeline schedules (GPipe / 1F1B) of
+:mod:`repro.distributed.model_parallel`, run via the ``llm`` strategy
+of :func:`repro.distributed.runner.run_training_benchmark`.
+
+Serving: per-request KV-cache accounting
+(:mod:`repro.serving.kvcache`), the continuous-batching token engine
+(:mod:`repro.serving.llm`), and the end-to-end benchmark here.
+"""
+
+from ..distributed.model_parallel import (SCHEDULES, PipelineJob,
+                                          pipeline_bubble_report,
+                                          schedule_order)
+from ..models.transformer import TransformerSpec, transformer
+from ..serving.kvcache import KVCache, KVTracker
+from ..serving.llm import (LLM_MODES, LLMFrontend, LLMReplica, LLMRequest,
+                           LLMServingResult)
+from .benchmark import run_llm_serving_benchmark
+from .workload import (DEFAULT_OUTPUT_RANGE, DEFAULT_PROMPT_RANGE,
+                       TOKEN_BYTES, LLMLoadGenerator)
+
+__all__ = [
+    "DEFAULT_OUTPUT_RANGE", "DEFAULT_PROMPT_RANGE", "KVCache", "KVTracker",
+    "LLM_MODES", "LLMFrontend", "LLMLoadGenerator", "LLMReplica",
+    "LLMRequest", "LLMServingResult", "PipelineJob", "SCHEDULES",
+    "TOKEN_BYTES", "TransformerSpec", "pipeline_bubble_report",
+    "run_llm_serving_benchmark", "schedule_order", "transformer",
+]

@@ -1,11 +1,14 @@
 """Benchmark model zoo (Table 2) and convergence applications (§5.2)."""
 
 from .spec import MB, ModelSpec, VariableSpec, calibrate
+from .transformer import TransformerSpec, transformer
 from .zoo import (all_models, alexnet, fcn5, get_model, gru, inception_v3,
-                  lstm, model_names, vggnet16)
+                  lstm, model_names, paper_model_names, paper_models,
+                  register_model, vggnet16)
 
 __all__ = [
-    "MB", "ModelSpec", "VariableSpec", "all_models", "alexnet", "calibrate",
-    "fcn5", "get_model", "gru", "inception_v3", "lstm", "model_names",
-    "vggnet16",
+    "MB", "ModelSpec", "TransformerSpec", "VariableSpec", "all_models",
+    "alexnet", "calibrate", "fcn5", "get_model", "gru", "inception_v3",
+    "lstm", "model_names", "paper_model_names", "paper_models",
+    "register_model", "transformer", "vggnet16",
 ]

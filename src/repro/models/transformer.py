@@ -1,0 +1,151 @@
+"""Decoder-only transformer model specs for the LLM subsystem.
+
+The paper's model zoo (Table 2) is CNN/LSTM-era; transformers stress
+the dynamic dataflow machinery (§3.3) much harder: sequence
+activations dominate the wire in pipeline-parallel training, and
+serving grows a per-request KV cache token by token — a genuinely
+variable-length tensor.  A :class:`TransformerSpec` extends
+:class:`ModelSpec` with the architectural parameters the two planes
+need: per-token decode cost, prefill parallelism, and the KV-cache
+footprint per token.
+
+These are *workload* models, not paper benchmarks, so
+``paper_model_bytes`` stays 0 and the Table-2/Figure-7 experiments
+keep running on the six paper models only (see
+:func:`repro.models.zoo.paper_models`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .spec import ModelSpec, VariableSpec
+from .zoo import register_model
+
+
+@dataclass(frozen=True)
+class TransformerSpec(ModelSpec):
+    """A decoder-only transformer workload.
+
+    The training plane reads ``seq_len * hidden`` as the per-sample
+    activation width (what pipeline stages ship over RDMA); the
+    serving plane reads the prefill/decode cost model and
+    :attr:`kv_bytes_per_token`.
+    """
+
+    #: decoder blocks, model width, attention heads
+    layers: int = 0
+    hidden: int = 0
+    heads: int = 0
+    #: training sequence length / maximum context window (tokens)
+    seq_len: int = 2048
+    vocab: int = 50257
+    #: single-replica cost of decoding one token at batch width 1 (s)
+    token_time: float = 1e-3
+    #: decode-step time is flat up to this batch width (the replica's
+    #: parallelism absorbs the batch), then linear — same shape as
+    #: :meth:`ModelSpec.compute_time`
+    width_saturation: int = 8
+    #: prefill processes this many prompt tokens per ``token_time``
+    #: (prompt tokens are independent, decode tokens are sequential)
+    prefill_parallelism: int = 16
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one token pins: K and V, every layer, fp32."""
+        return 2 * self.layers * self.hidden * 4
+
+    def prefill_time(self, prompt_tokens: int) -> float:
+        """Time to ingest a prompt and emit the first token.
+
+        Prompt tokens are processed ``prefill_parallelism`` at a time;
+        a prefill never beats a single decode step.
+        """
+        if prompt_tokens < 1:
+            raise ValueError("prompt must have at least one token")
+        return max(self.token_time,
+                   self.token_time * prompt_tokens / self.prefill_parallelism)
+
+    def decode_step_time(self, width: int) -> float:
+        """Time for one decode iteration generating ``width`` tokens."""
+        if width < 1:
+            raise ValueError("decode width must be positive")
+        return self.token_time * max(1.0, width / self.width_saturation)
+
+
+def _transformer_variables(layers: int, hidden: int, vocab: int,
+                           seq_len: int) -> List[VariableSpec]:
+    """The standard GPT-2-style inventory: 12 tensors per block plus
+    embeddings and the final layer norm."""
+    variables: List[VariableSpec] = [
+        VariableSpec("wte", (vocab, hidden)),
+        VariableSpec("wpe", (seq_len, hidden)),
+    ]
+    for block in range(layers):
+        prefix = f"h{block}"
+        variables += [
+            VariableSpec(f"{prefix}/ln1/gain", (hidden,)),
+            VariableSpec(f"{prefix}/ln1/bias", (hidden,)),
+            VariableSpec(f"{prefix}/attn/qkv", (hidden, 3 * hidden)),
+            VariableSpec(f"{prefix}/attn/qkv_bias", (3 * hidden,)),
+            VariableSpec(f"{prefix}/attn/proj", (hidden, hidden)),
+            VariableSpec(f"{prefix}/attn/proj_bias", (hidden,)),
+            VariableSpec(f"{prefix}/ln2/gain", (hidden,)),
+            VariableSpec(f"{prefix}/ln2/bias", (hidden,)),
+            VariableSpec(f"{prefix}/mlp/fc", (hidden, 4 * hidden)),
+            VariableSpec(f"{prefix}/mlp/fc_bias", (4 * hidden,)),
+            VariableSpec(f"{prefix}/mlp/proj", (4 * hidden, hidden)),
+            VariableSpec(f"{prefix}/mlp/proj_bias", (hidden,)),
+        ]
+    variables += [
+        VariableSpec("ln_f/gain", (hidden,)),
+        VariableSpec("ln_f/bias", (hidden,)),
+    ]
+    return variables
+
+
+def transformer(name: str, *, layers: int, hidden: int, heads: int,
+                vocab: int = 50257, seq_len: int = 2048,
+                token_time: float = 1e-3, width_saturation: int = 8,
+                prefill_parallelism: int = 16,
+                batch_saturation: int = 4) -> TransformerSpec:
+    """Build a decoder-only spec from its architectural parameters.
+
+    Training sample time is derived from the serving cost model so the
+    two planes agree: one sample is ``seq_len`` prompt-parallel tokens
+    forward, and backward costs twice the forward pass.
+    """
+    if hidden % heads:
+        raise ValueError(f"hidden {hidden} not divisible by heads {heads}")
+    sample_time = 3.0 * seq_len * token_time / prefill_parallelism
+    return TransformerSpec(
+        name=name, family="Transformer",
+        variables=tuple(_transformer_variables(layers, hidden, vocab,
+                                               seq_len)),
+        sample_time=sample_time, batch_saturation=batch_saturation,
+        layers=layers, hidden=hidden, heads=heads, seq_len=seq_len,
+        vocab=vocab, token_time=token_time,
+        width_saturation=width_saturation,
+        prefill_parallelism=prefill_parallelism)
+
+
+@register_model("TF-Tiny")
+def tf_tiny() -> TransformerSpec:
+    """A 4-layer toy for tests and CI smoke: ~1.3M params, ~5 MB."""
+    return transformer("TF-Tiny", layers=4, hidden=128, heads=4,
+                       vocab=2048, seq_len=256, token_time=2e-4)
+
+
+@register_model("GPT-350M")
+def gpt_350m() -> TransformerSpec:
+    """GPT-3 Medium class: 24 layers, width 1024, 16 heads."""
+    return transformer("GPT-350M", layers=24, hidden=1024, heads=16,
+                       token_time=1.5e-3)
+
+
+@register_model("GPT-1.3B")
+def gpt_1_3b() -> TransformerSpec:
+    """GPT-3 XL class: 24 layers, width 2048, 16 heads."""
+    return transformer("GPT-1.3B", layers=24, hidden=2048, heads=16,
+                       token_time=4e-3)

@@ -20,11 +20,30 @@ Table 2 reference:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from .spec import MB, ModelSpec, VariableSpec, _conv, _dense, calibrate
 
+_BUILDERS: Dict[str, Callable[[], ModelSpec]] = {}
 
+
+def register_model(name: str) -> Callable:
+    """Decorator: add a zero-argument spec builder to the registry.
+
+    ``model_names()``/``get_model()``/``all_models()`` pick up every
+    registered builder, so new model families (the transformers in
+    :mod:`repro.models.transformer`, for one) join the zoo without a
+    hand-maintained list.  Names must be unique.
+    """
+    def decorate(builder: Callable[[], ModelSpec]) -> Callable[[], ModelSpec]:
+        if name in _BUILDERS:
+            raise ValueError(f"model {name!r} registered twice")
+        _BUILDERS[name] = builder
+        return builder
+    return decorate
+
+
+@register_model("AlexNet")
 def alexnet() -> ModelSpec:
     """AlexNet [24]: 5 conv + 3 FC layers, 16 variables, 176.42 MB."""
     variables: List[VariableSpec] = []
@@ -43,6 +62,7 @@ def alexnet() -> ModelSpec:
                      paper_model_bytes=target)
 
 
+@register_model("VGGNet-16")
 def vggnet16() -> ModelSpec:
     """VGGNet-16 [29]: 13 conv + 3 FC layers, 32 variables, 512.32 MB."""
     variables: List[VariableSpec] = []
@@ -61,6 +81,7 @@ def vggnet16() -> ModelSpec:
                      batch_saturation=4, paper_model_bytes=target)
 
 
+@register_model("Inception-v3")
 def inception_v3() -> ModelSpec:
     """Inception-v3 [31]: 98 conv/dense layers -> 196 variables, 92.90 MB.
 
@@ -120,6 +141,7 @@ def inception_v3() -> ModelSpec:
                      batch_saturation=13, paper_model_bytes=target)
 
 
+@register_model("LSTM")
 def lstm() -> ModelSpec:
     """LSTM LM, hidden 1024, step 80 — 14 variables, 35.93 MB.
 
@@ -150,6 +172,7 @@ def lstm() -> ModelSpec:
                      paper_model_bytes=target)
 
 
+@register_model("GRU")
 def gru() -> ModelSpec:
     """GRU LM, hidden 1024, step 80 — 11 variables, 27.92 MB."""
     hidden = 1024
@@ -172,6 +195,7 @@ def gru() -> ModelSpec:
                      paper_model_bytes=target)
 
 
+@register_model("FCN-5")
 def fcn5() -> ModelSpec:
     """FCN-5: input, 3 hidden layers of 4096, output — 10 vars, 204.47 MB."""
     variables: List[VariableSpec] = []
@@ -187,17 +211,8 @@ def fcn5() -> ModelSpec:
                      paper_model_bytes=target)
 
 
-_BUILDERS = {
-    "AlexNet": alexnet,
-    "Inception-v3": inception_v3,
-    "VGGNet-16": vggnet16,
-    "LSTM": lstm,
-    "GRU": gru,
-    "FCN-5": fcn5,
-}
-
-
 def model_names() -> List[str]:
+    """Every registered model, in registration order."""
     return list(_BUILDERS)
 
 
@@ -210,3 +225,24 @@ def get_model(name: str) -> ModelSpec:
 
 def all_models() -> Dict[str, ModelSpec]:
     return {name: build() for name, build in _BUILDERS.items()}
+
+
+def paper_models() -> Dict[str, ModelSpec]:
+    """The Table-2 benchmarks only — specs with a paper-reported size.
+
+    The fidelity experiments (Table 2, Figure 7, the throughput
+    figures) iterate this subset so workload families added later
+    (e.g. transformers) don't change the paper-comparison numbers.
+    """
+    return {name: spec for name, spec in all_models().items()
+            if spec.paper_model_bytes > 0}
+
+
+def paper_model_names() -> List[str]:
+    return list(paper_models())
+
+
+# Registration side effect: importing the zoo brings the transformer
+# family into the registry too, so `get_model("GPT-350M")` works no
+# matter which module was imported first.
+from . import transformer as _transformer  # noqa: E402,F401

@@ -39,6 +39,11 @@ class ServingConfig:
     admission_limit: int = 128
     #: weight-broadcast schedule ("direct" or "chain")
     broadcast: str = "direct"
+    #: per-replica KV-cache byte budget for LLM serving (MB);
+    #: admission reserves the prompt's footprint against it
+    kv_budget_mb: float = 2048.0
+    #: continuous batching: running-batch width cap per replica
+    max_width: int = 16
 
 
 _SERVING_CONFIG = ServingConfig()
@@ -56,7 +61,9 @@ def configure_serving(replicas: Optional[int] = None,
                       slo_ms: Optional[float] = None,
                       arrival: Optional[str] = None,
                       admission_limit: Optional[int] = None,
-                      broadcast: Optional[str] = None) -> ServingConfig:
+                      broadcast: Optional[str] = None,
+                      kv_budget_mb: Optional[float] = None,
+                      max_width: Optional[int] = None) -> ServingConfig:
     """Override selected serving knobs; returns the new config."""
     global _SERVING_CONFIG
     changes = {}
@@ -94,6 +101,14 @@ def configure_serving(replicas: Optional[int] = None,
             raise ValueError(f"unknown broadcast mode {broadcast!r}; "
                              f"have {BROADCAST_MODES}")
         changes["broadcast"] = broadcast
+    if kv_budget_mb is not None:
+        if kv_budget_mb <= 0:
+            raise ValueError("kv_budget_mb must be positive")
+        changes["kv_budget_mb"] = kv_budget_mb
+    if max_width is not None:
+        if max_width < 1:
+            raise ValueError("max_width must be at least 1")
+        changes["max_width"] = max_width
     _SERVING_CONFIG = replace(_SERVING_CONFIG, **changes)
     return _SERVING_CONFIG
 

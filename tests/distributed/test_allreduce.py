@@ -173,7 +173,7 @@ class TestRunnerStrategies:
 
     def test_strategies_tuple(self):
         assert STRATEGIES == ("ps", "ring", "halving-doubling",
-                              "hierarchical", "innetwork")
+                              "hierarchical", "innetwork", "llm")
 
 
 class TestCommConfig:

@@ -24,16 +24,35 @@ class TestSplitStages:
         spec = get_model("GRU")
         assert split_stages(spec, 1) == [list(range(spec.num_variables))]
 
-    def test_byte_balance_bounded(self):
-        spec = get_model("Inception-v3")
-        stages = split_stages(spec, 8)
+    @pytest.mark.parametrize("name,stages", [
+        ("Inception-v3", 8), ("TF-Tiny", 4), ("GPT-350M", 8),
+    ])
+    def test_byte_balance_bounded(self, name, stages):
+        spec = get_model(name)
+        split = split_stages(spec, stages)
         sizes = [sum(spec.variables[i].nbytes for i in stage)
-                 for stage in stages]
-        assert max(sizes) < 3 * (sum(sizes) / len(sizes))
+                 for stage in split]
+        assert max(sizes) <= 2 * (sum(sizes) / len(sizes))
 
-    def test_too_many_stages(self):
-        with pytest.raises(ValueError):
-            split_stages(get_model("FCN-5"), 11)
+    def test_stages_equal_variables(self):
+        spec = get_model("GRU")
+        stages = split_stages(spec, spec.num_variables)
+        assert len(stages) == spec.num_variables
+        assert all(len(stage) == 1 for stage in stages)
+
+    def test_too_many_stages_clamps_with_warning(self):
+        spec = get_model("FCN-5")
+        with pytest.warns(UserWarning, match="clamp"):
+            stages = split_stages(spec, 11)
+        assert len(stages) == spec.num_variables
+        flattened = [i for stage in stages for i in stage]
+        assert flattened == list(range(spec.num_variables))
+
+    def test_deterministic(self):
+        spec = get_model("VGGNet-16")
+        assert split_stages(spec, 4) == split_stages(spec, 4)
+        spec2 = get_model("VGGNet-16")
+        assert split_stages(spec, 6) == split_stages(spec2, 6)
 
     def test_zero_stages(self):
         with pytest.raises(ValueError):

@@ -81,6 +81,78 @@ class TestCommFlags:
             main(["--fusion-mb", "0", "table2"])
 
 
+class TestPipelineFlags:
+    def teardown_method(self):
+        from repro.distributed import reset_comm_config
+        reset_comm_config()
+
+    def test_flags_configure_comm(self, capsys):
+        from repro.distributed import comm_config
+        assert main(["--pipeline-stages", "8", "--microbatches", "2",
+                     "--schedule", "gpipe", "table2"]) == 0
+        config = comm_config()
+        assert config.pipeline_stages == 8
+        assert config.microbatches == 2
+        assert config.schedule == "gpipe"
+
+    def test_defaults_stay_unpinned(self, capsys):
+        from repro.distributed import comm_config
+        assert main(["table2"]) == 0
+        assert comm_config().pipeline_stages is None
+        assert comm_config().microbatches is None
+        assert comm_config().schedule is None
+
+    def test_invalid_stage_count_rejected(self):
+        with pytest.raises(ValueError, match="pipeline_stages"):
+            main(["--pipeline-stages", "0", "table2"])
+
+    def test_invalid_microbatches_rejected(self):
+        with pytest.raises(ValueError, match="microbatches"):
+            main(["--microbatches", "0", "table2"])
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--schedule", "zero-bubble", "table2"])
+
+    def test_pinned_flags_narrow_llmtrain(self, capsys):
+        from repro.distributed import configure_comm
+        from repro.harness.experiments import llmtrain
+        configure_comm(pipeline_stages=2, microbatches=2,
+                       schedule="1f1b")
+        result = llmtrain(model="TF-Tiny", batch_size=4, iterations=2)
+        assert result.column("stages") == [2]
+        assert result.column("schedule") == ["1f1b"]
+        # single-schedule run: no gpipe cell, so no headline note
+        assert not any("every stage count" in n for n in result.notes)
+
+    def test_pinned_microbatches_reach_runner(self, capsys):
+        from repro.distributed import configure_comm
+        from repro.distributed.runner import run_training_benchmark
+        from repro.models import get_model
+        configure_comm(microbatches=2, schedule="gpipe")
+        bench = run_training_benchmark(
+            get_model("TF-Tiny"), "RDMA", num_servers=2, batch_size=4,
+            iterations=2, strategy="llm")
+        assert bench.pipeline.microbatches == 2
+        assert bench.pipeline.schedule == "gpipe"
+
+
+class TestLlmServingFlags:
+    def teardown_method(self):
+        from repro.serving import reset_serving_config
+        from repro.distributed import reset_comm_config
+        reset_serving_config()
+        reset_comm_config()
+
+    def test_flags_configure_serving(self, capsys):
+        from repro.serving import serving_config
+        assert main(["--kv-budget-mb", "256", "--max-width", "32",
+                     "table2"]) == 0
+        config = serving_config()
+        assert config.kv_budget_mb == 256.0
+        assert config.max_width == 32
+
+
 class TestCaptureFlags:
     def teardown_method(self):
         from repro.observability import reset_capture

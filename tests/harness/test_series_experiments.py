@@ -55,7 +55,7 @@ class TestExperimentResult:
             "table2", "figure7", "figure8", "figure9", "figure10",
             "figure11", "figure12", "table3", "allreduce", "stallreport",
             "overlap", "chaos", "serving", "scale", "netreduce",
-            "telemetry", "lossy"}
+            "telemetry", "lossy", "llmtrain", "llmserve"}
 
 
 class TestFastExperiments:

@@ -1,0 +1,93 @@
+"""Tests for the transformer zoo specs and their serving cost model."""
+
+import pytest
+
+from repro.models import TransformerSpec, get_model, paper_models, transformer
+from repro.models.zoo import all_models, register_model
+
+
+class TestRegistry:
+    def test_transformers_registered(self):
+        models = all_models()
+        for name in ("TF-Tiny", "GPT-350M", "GPT-1.3B"):
+            assert name in models
+            assert isinstance(models[name], TransformerSpec)
+
+    def test_excluded_from_paper_subset(self):
+        # paper_model_bytes == 0: the transformers are zoo growth, not
+        # Table 2 reproductions.
+        assert not any(isinstance(spec, TransformerSpec)
+                       for spec in paper_models().values())
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            @register_model("GPT-350M")
+            def _dup():
+                return get_model("GPT-350M")
+
+    def test_get_model_roundtrip(self):
+        spec = get_model("GPT-350M")
+        assert spec.family == "Transformer"
+        assert spec.name == "GPT-350M"
+
+
+class TestParameterCounts:
+    def test_gpt_350m_class(self):
+        spec = get_model("GPT-350M")
+        params = spec.model_bytes // 4
+        assert 300e6 < params < 400e6
+        # 12 tensors per block + wte/wpe + final layernorm gain/bias.
+        assert spec.num_variables == 12 * spec.layers + 4
+
+    def test_gpt_1_3b_class(self):
+        spec = get_model("GPT-1.3B")
+        params = spec.model_bytes // 4
+        assert 1.1e9 < params < 1.5e9
+
+    def test_variables_contiguous_per_block(self):
+        spec = get_model("TF-Tiny")
+        names = [v.name for v in spec.variables]
+        # Layer-contiguous order is what split_stages relies on to cut
+        # the pipeline at block boundaries.
+        assert names[0].startswith("wte")
+        for layer in range(spec.layers):
+            block = [n for n in names if n.startswith(f"h{layer}/")]
+            first = names.index(block[0])
+            assert names[first:first + len(block)] == block
+
+    def test_bad_head_split_rejected(self):
+        with pytest.raises(ValueError, match="heads"):
+            transformer("T-bad", layers=2, hidden=100, heads=7)
+
+
+class TestServingCostModel:
+    def test_kv_bytes_per_token(self):
+        spec = get_model("GPT-350M")
+        # K and V, one per layer, hidden floats of 4 bytes each.
+        assert spec.kv_bytes_per_token == 2 * spec.layers * spec.hidden * 4
+
+    def test_prefill_floor_and_scaling(self):
+        spec = get_model("TF-Tiny")
+        assert spec.prefill_time(1) == spec.token_time
+        long = 64 * spec.prefill_parallelism
+        assert spec.prefill_time(long) == pytest.approx(
+            spec.token_time * long / spec.prefill_parallelism)
+
+    def test_prefill_monotone(self):
+        spec = get_model("GPT-350M")
+        times = [spec.prefill_time(t) for t in (1, 16, 64, 256, 2048)]
+        assert times == sorted(times)
+
+    def test_decode_flat_then_linear(self):
+        spec = get_model("GPT-350M")
+        sat = spec.width_saturation
+        assert spec.decode_step_time(1) == spec.decode_step_time(sat)
+        assert spec.decode_step_time(4 * sat) == pytest.approx(
+            4 * spec.decode_step_time(sat))
+
+    def test_training_serving_cost_coupling(self):
+        # One training sample processes seq_len tokens through forward
+        # + backward (~3x forward) on the prefill-parallel engine.
+        spec = get_model("GPT-350M")
+        assert spec.sample_time == pytest.approx(
+            3 * spec.seq_len * spec.token_time / spec.prefill_parallelism)
